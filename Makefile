@@ -1,0 +1,46 @@
+# xkblas-go — reproduction of "Evaluation of two topology-aware heuristics
+# on level-3 BLAS library for multi-GPU platforms" (PAW-ATM @ SC 2021).
+
+GO ?= go
+
+.PHONY: all build test bench verify experiments experiments-quick examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# One testing.B benchmark per paper table/figure plus the ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Randomized functional verification of all nine routines.
+verify:
+	$(GO) run ./cmd/xkverify -trials 25
+
+# Regenerate every table and figure at paper scale (~2 min).
+experiments:
+	$(GO) run ./cmd/xkbench -exp all | tee results_full.txt
+
+experiments-quick:
+	$(GO) run ./cmd/xkbench -exp all -quick | tee results_quick.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/dod
+	$(GO) run ./examples/dropin
+	$(GO) run ./examples/cholesky
+	$(GO) run ./examples/lu
+	$(GO) run ./examples/composition
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

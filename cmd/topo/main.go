@@ -1,0 +1,56 @@
+// Command topo prints the simulated platform's interconnect: the hybrid
+// cube-mesh link map of Fig. 1 and, with -bandwidth, the measured
+// bandwidth matrix of Fig. 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xkblas/internal/bench"
+	"xkblas/internal/topology"
+)
+
+func main() {
+	bandwidth := flag.Bool("bandwidth", false, "measure and print the Fig. 2 bandwidth matrix")
+	summit := flag.Bool("summit", false, "describe the Summit-like POWER9 node instead of the DGX-1")
+	flag.Parse()
+
+	p := topology.DGX1()
+	if *summit {
+		p = topology.SummitNode()
+	}
+	fmt.Printf("%s — %d GPUs (%s, %.1f TFlop/s FP64, %d GB each)\n",
+		p.Name, p.NumGPUs, p.GPU.Name, p.GPU.PeakFP64/1e12, p.GPU.MemoryBytes>>30)
+	fmt.Printf("PCIe switches: %d (%.1f GB/s each, per direction); sockets: %d (inter-socket %.1f GB/s)\n\n",
+		p.NumPCIeSwitches(), p.SwitchGBs, p.NumSockets(), p.InterSocketGBs)
+
+	fmt.Println("Link map (NV2 = 2xNVLink, NV1 = 1xNVLink, PCIe = no direct NVLink):")
+	fmt.Print("     ")
+	for j := 0; j < p.NumGPUs; j++ {
+		fmt.Printf("%6d", j)
+	}
+	fmt.Println()
+	for i := 0; i < p.NumGPUs; i++ {
+		fmt.Printf("GPU%d ", i)
+		for j := 0; j < p.NumGPUs; j++ {
+			if i == j {
+				fmt.Printf("%6s", "-")
+				continue
+			}
+			fmt.Printf("%6s", p.GPULink(topology.DeviceID(i), topology.DeviceID(j)).Kind)
+		}
+		fmt.Printf("   switch %d, rank-to-host %d\n", p.PCIeSwitchOf(topology.DeviceID(i)),
+			p.P2PPerformanceRank(topology.Host, topology.DeviceID(i)))
+	}
+
+	if *bandwidth {
+		if *summit {
+			fmt.Fprintln(os.Stderr, "-bandwidth matrix is generated for the DGX-1 only")
+			os.Exit(2)
+		}
+		fmt.Println()
+		bench.Fig2BandwidthMatrix(os.Stdout)
+	}
+}

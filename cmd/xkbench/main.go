@@ -1,0 +1,184 @@
+// Command xkbench regenerates the paper's tables and figures on the
+// simulated DGX-1.
+//
+// Usage:
+//
+//	xkbench -exp fig5              # full Fig. 5 sweep (paper sizes, 8 runs)
+//	xkbench -exp fig3 -quick       # reduced sweep for a fast look
+//	xkbench -exp table2
+//	xkbench -exp fig5 -csv out.csv # also dump the points as CSV
+//	xkbench -exp all               # everything, in paper order
+//
+//	# Custom sweeps:
+//	xkbench -exp sweep -libs XKBlas,Slate -routines GEMM,TRSM -sizes 16384,32768
+//	xkbench -exp sweep -routines SYR2K -dod
+//
+// Paper experiments: table1, fig2, fig3, table2, fig4, fig5, fig6, fig7,
+// fig8, fig9. Extensions: scale, summit, hermitian, pinning, factor.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"xkblas/internal/baseline"
+	"xkblas/internal/bench"
+	"xkblas/internal/blasops"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1,fig2,fig3,table2,fig4,fig5,fig6,fig7,fig8,fig9,scale,summit,hermitian,pinning,factor,sweep,all")
+	quick := flag.Bool("quick", false, "reduced sizes and repetitions")
+	csvPath := flag.String("csv", "", "write sweep points as CSV to this path (sweep experiments only)")
+	libsFlag := flag.String("libs", "", "custom sweep (-exp sweep): comma-separated library names; empty = Fig. 5 roster")
+	routinesFlag := flag.String("routines", "GEMM", "custom sweep: comma-separated routine names")
+	sizesFlag := flag.String("sizes", "8192,16384,32768", "custom sweep: comma-separated matrix dimensions")
+	tilesFlag := flag.String("tiles", "1024,2048,4096", "custom sweep: comma-separated tile sizes")
+	runs := flag.Int("runs", 3, "custom sweep: measured repetitions")
+	dod := flag.Bool("dod", false, "custom sweep: data-on-device scenario")
+	plot := flag.Bool("plot", false, "render sweep results as ASCII TFlop/s-vs-N charts")
+	flag.Parse()
+
+	w := os.Stdout
+	var points []bench.Point
+	run := func(name string) {
+		switch name {
+		case "table1":
+			bench.TableI(w)
+		case "fig2":
+			bench.Fig2BandwidthMatrix(w)
+		case "fig3":
+			points = append(points, bench.Fig3(w, *quick)...)
+		case "table2":
+			bench.TableII(w, *quick)
+		case "fig4":
+			points = append(points, bench.Fig4(w, *quick)...)
+		case "fig5":
+			points = append(points, bench.Fig5(w, *quick)...)
+		case "fig6":
+			bench.Fig6(w, *quick)
+		case "fig7":
+			bench.Fig7(w, *quick)
+		case "fig8":
+			bench.Fig8(w, *quick)
+		case "fig9":
+			bench.Fig9(w, *quick)
+		case "scale":
+			bench.Scalability(w, *quick)
+		case "summit":
+			bench.SummitPrediction(w, *quick)
+		case "hermitian":
+			bench.Hermitian(w, *quick)
+		case "pinning":
+			bench.PinningCost(w, *quick)
+		case "factor":
+			bench.Factorizations(w, *quick)
+		case "sweep":
+			pts, err := customSweep(w, *libsFlag, *routinesFlag, *sizesFlag, *tilesFlag, *runs, *dod)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			points = append(points, pts...)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			flag.Usage()
+			os.Exit(2)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table1", "fig2", "fig3", "table2", "fig4", "fig5",
+			"fig6", "fig7", "fig8", "fig9", "scale", "summit", "hermitian", "pinning", "factor"} {
+			fmt.Fprintf(w, "==== %s ====\n", strings.ToUpper(name))
+			run(name)
+		}
+	} else {
+		run(*exp)
+	}
+
+	if *plot && len(points) > 0 {
+		fmt.Fprintln(w)
+		if err := bench.PlotSweep(w, points, 90, 18); err != nil {
+			fmt.Fprintf(os.Stderr, "plot: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *csvPath != "" && len(points) > 0 {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := bench.WriteCSV(f, points); err != nil {
+			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "wrote %d points to %s\n", len(points), *csvPath)
+	}
+}
+
+// customSweep runs a user-specified sweep over the library roster.
+func customSweep(w *os.File, libsSpec, routinesSpec, sizesSpec, tilesSpec string, runs int, dod bool) ([]bench.Point, error) {
+	cfg := bench.Config{
+		Runs:          runs,
+		NoiseAmp:      0.02,
+		Progress:      w,
+		ExtraTilesFor: map[string]bool{"cuBLAS-XT": true, "Slate": true},
+	}
+	if dod {
+		cfg.Scenario = baseline.DataOnDevice
+	}
+	if libsSpec == "" {
+		cfg.Libs = bench.Roster()
+	} else {
+		byName := make(map[string]baseline.Library)
+		for _, l := range bench.Roster() {
+			byName[l.Name()] = l
+		}
+		for _, l := range []baseline.Library{baseline.XKBlasNoHeuristic(), baseline.XKBlasNoHeuristicNoTopo()} {
+			byName[l.Name()] = l
+		}
+		for _, name := range strings.Split(libsSpec, ",") {
+			lib, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				return nil, fmt.Errorf("unknown library %q", name)
+			}
+			cfg.Libs = append(cfg.Libs, lib)
+		}
+	}
+	for _, rn := range strings.Split(routinesSpec, ",") {
+		r, err := blasops.ParseRoutine(strings.TrimSpace(rn))
+		if err != nil {
+			return nil, err
+		}
+		cfg.Routines = append(cfg.Routines, r)
+	}
+	var err error
+	if cfg.Sizes, err = parseInts(sizesSpec); err != nil {
+		return nil, fmt.Errorf("sizes: %w", err)
+	}
+	if cfg.Tiles, err = parseInts(tilesSpec); err != nil {
+		return nil, fmt.Errorf("tiles: %w", err)
+	}
+	fmt.Fprintf(w, "Custom sweep (%s)\n", cfg.Scenario)
+	return bench.RunSweep(cfg), nil
+}
+
+func parseInts(spec string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+// Command xktrace runs one routine on a chosen library with tracing and
+// prints the nvprof-style analysis of §IV-E: cumulative time per operation
+// kind, the per-GPU breakdown and an ASCII Gantt chart.
+//
+// Example:
+//
+//	xktrace -lib XKBlas -routine SYR2K -n 16384 -nb 2048 -gantt
+//	xktrace -lib cuBLAS-XT -routine GEMM -n 32768 -nb 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xkblas/internal/baseline"
+	"xkblas/internal/bench"
+	"xkblas/internal/blasops"
+	"xkblas/internal/trace"
+)
+
+func libByName(name string) baseline.Library {
+	for _, l := range bench.Roster() {
+		if l.Name() == name {
+			return l
+		}
+	}
+	for _, l := range []baseline.Library{
+		baseline.XKBlasNoHeuristic(), baseline.XKBlasNoHeuristicNoTopo(),
+	} {
+		if l.Name() == name {
+			return l
+		}
+	}
+	return nil
+}
+
+func main() {
+	libName := flag.String("lib", "XKBlas", "library name (as in Fig. 5)")
+	routine := flag.String("routine", "GEMM", "GEMM|SYMM|SYR2K|SYRK|TRMM|TRSM")
+	n := flag.Int("n", 16384, "matrix dimension")
+	nb := flag.Int("nb", 2048, "tile size")
+	dod := flag.Bool("dod", false, "data-on-device scenario")
+	gantt := flag.Bool("gantt", false, "render the ASCII Gantt chart")
+	width := flag.Int("width", 120, "Gantt width in characters")
+	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) to this path")
+	flag.Parse()
+
+	lib := libByName(*libName)
+	if lib == nil {
+		fmt.Fprintf(os.Stderr, "unknown library %q\n", *libName)
+		os.Exit(2)
+	}
+	r, err := blasops.ParseRoutine(*routine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	req := baseline.Request{Routine: r, N: *n, NB: *nb, Trace: true}
+	if *dod {
+		req.Scenario = baseline.DataOnDevice
+	}
+	res := lib.Run(req)
+	if res.Err != nil {
+		fmt.Fprintf(os.Stderr, "run: %v\n", res.Err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s %s N=%d nb=%d (%s): %.3fs virtual, %.1f GFlop/s\n",
+		lib.Name(), r, *n, *nb, req.Scenario, float64(res.Elapsed), res.GFlops)
+	fmt.Printf("traffic: H2D %.2f GB (%d), D2H %.2f GB (%d), P2P %.2f GB (%d), evictions %d\n\n",
+		float64(res.Cache.H2DBytes)/1e9, res.Cache.H2DCount,
+		float64(res.Cache.D2HBytes)/1e9, res.Cache.D2HCount,
+		float64(res.Cache.P2PBytes)/1e9, res.Cache.P2PCount,
+		res.Cache.Evictions)
+
+	fmt.Println("Cumulative GPU time by operation kind (Fig. 6 style):")
+	cum := res.Rec.CumulativeByKind()
+	norm := res.Rec.NormalizedByKind()
+	for _, k := range trace.Kinds() {
+		fmt.Printf("  %-12s %9.3fs  %5.1f%%\n", k, float64(cum[k]), norm[k])
+	}
+
+	fmt.Println("\nPer-GPU breakdown (Fig. 7 style):")
+	per := res.Rec.PerGPUByKind(8)
+	fmt.Printf("  %-5s", "GPU")
+	for _, k := range trace.Kinds() {
+		fmt.Printf(" %12s", k)
+	}
+	fmt.Println()
+	for g := range per {
+		fmt.Printf("  %-5d", g+1)
+		for _, k := range trace.Kinds() {
+			fmt.Printf(" %11.3fs", float64(per[g][k]))
+		}
+		fmt.Println()
+	}
+
+	if *gantt {
+		fmt.Println()
+		if err := res.Rec.Gantt(os.Stdout, 8, *width); err != nil {
+			fmt.Fprintf(os.Stderr, "gantt: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chrome: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := res.Rec.WriteChromeTrace(f, 8); err != nil {
+			fmt.Fprintf(os.Stderr, "chrome: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote Chrome trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", *chrome)
+	}
+}

@@ -1,0 +1,134 @@
+package xkblas
+
+// Synchronous drop-in wrappers mirroring the classic BLAS signatures over
+// LAPACK-layout slices, the usage mode of the NVBLAS-style interposition
+// the paper discusses in §IV-D ("cuBLAS-XT with NVBLAS and XKBlas provide
+// dynamic libraries to trap Fortran and C calls"). Each call registers the
+// operands, runs the asynchronous tiled algorithm, makes the written
+// operand coherent on the host and waits — trading the composition benefit
+// of the native API for zero code changes.
+//
+// The wrappers run in functional mode: they compute real results on the
+// simulated platform and return the virtual execution time.
+
+// Dgemm computes C = alpha·op(A)·op(B) + beta·C synchronously.
+func (l *DropIn) Dgemm(ta, tb Trans, m, n, k int, alpha float64, a []float64, lda int,
+	b []float64, ldb int, beta float64, c []float64, ldc int) Time {
+	h := l.fresh()
+	av := FromSlice(a, dimRows(ta, m, k), dimCols(ta, m, k), lda)
+	bv := FromSlice(b, dimRows(tb, k, n), dimCols(tb, k, n), ldb)
+	cv := FromSlice(c, m, n, ldc)
+	A, B, C := h.Register(av), h.Register(bv), h.Register(cv)
+	t0 := h.Now()
+	h.GemmAsync(ta, tb, alpha, A, B, beta, C)
+	h.MemoryCoherentAsync(C)
+	return h.Sync() - t0
+}
+
+// Dsymm computes C = alpha·A·B + beta·C (or B·A for side Right).
+func (l *DropIn) Dsymm(side Side, uplo Uplo, m, n int, alpha float64, a []float64, lda int,
+	b []float64, ldb int, beta float64, c []float64, ldc int) Time {
+	h := l.fresh()
+	dim := m
+	if side == Right {
+		dim = n
+	}
+	A := h.Register(FromSlice(a, dim, dim, lda))
+	B := h.Register(FromSlice(b, m, n, ldb))
+	C := h.Register(FromSlice(c, m, n, ldc))
+	t0 := h.Now()
+	h.SymmAsync(side, uplo, alpha, A, B, beta, C)
+	h.MemoryCoherentAsync(C)
+	return h.Sync() - t0
+}
+
+// Dsyrk computes C = alpha·op(A)·op(A)ᵀ + beta·C on the uplo triangle.
+func (l *DropIn) Dsyrk(uplo Uplo, trans Trans, n, k int, alpha float64, a []float64, lda int,
+	beta float64, c []float64, ldc int) Time {
+	h := l.fresh()
+	A := h.Register(FromSlice(a, dimRows(trans, n, k), dimCols(trans, n, k), lda))
+	C := h.Register(FromSlice(c, n, n, ldc))
+	t0 := h.Now()
+	h.SyrkAsync(uplo, trans, alpha, A, beta, C)
+	h.MemoryCoherentAsync(C)
+	return h.Sync() - t0
+}
+
+// Dsyr2k computes C = alpha·(op(A)op(B)ᵀ + op(B)op(A)ᵀ) + beta·C.
+func (l *DropIn) Dsyr2k(uplo Uplo, trans Trans, n, k int, alpha float64, a []float64, lda int,
+	b []float64, ldb int, beta float64, c []float64, ldc int) Time {
+	h := l.fresh()
+	A := h.Register(FromSlice(a, dimRows(trans, n, k), dimCols(trans, n, k), lda))
+	B := h.Register(FromSlice(b, dimRows(trans, n, k), dimCols(trans, n, k), ldb))
+	C := h.Register(FromSlice(c, n, n, ldc))
+	t0 := h.Now()
+	h.Syr2kAsync(uplo, trans, alpha, A, B, beta, C)
+	h.MemoryCoherentAsync(C)
+	return h.Sync() - t0
+}
+
+// Dtrmm computes B = alpha·op(A)·B (or B·op(A)) in place.
+func (l *DropIn) Dtrmm(side Side, uplo Uplo, ta Trans, diag Diag, m, n int,
+	alpha float64, a []float64, lda int, b []float64, ldb int) Time {
+	h := l.fresh()
+	dim := m
+	if side == Right {
+		dim = n
+	}
+	A := h.Register(FromSlice(a, dim, dim, lda))
+	B := h.Register(FromSlice(b, m, n, ldb))
+	t0 := h.Now()
+	h.TrmmAsync(side, uplo, ta, diag, alpha, A, B)
+	h.MemoryCoherentAsync(B)
+	return h.Sync() - t0
+}
+
+// Dtrsm solves op(A)·X = alpha·B (or X·op(A) = alpha·B) in place.
+func (l *DropIn) Dtrsm(side Side, uplo Uplo, ta Trans, diag Diag, m, n int,
+	alpha float64, a []float64, lda int, b []float64, ldb int) Time {
+	h := l.fresh()
+	dim := m
+	if side == Right {
+		dim = n
+	}
+	A := h.Register(FromSlice(a, dim, dim, lda))
+	B := h.Register(FromSlice(b, m, n, ldb))
+	t0 := h.Now()
+	h.TrsmAsync(side, uplo, ta, diag, alpha, A, B)
+	h.MemoryCoherentAsync(B)
+	return h.Sync() - t0
+}
+
+// DropIn is the synchronous wrapper layer. Each call runs on a fresh
+// library context (synchronous semantics cache nothing across calls, the
+// drop-in trade-off of §IV-D).
+type DropIn struct {
+	// Platform defaults to the DGX-1; TileSize to 512 (wrappers usually
+	// see small legacy problems).
+	Platform *Platform
+	TileSize int
+}
+
+func (l *DropIn) fresh() *Handle {
+	nb := l.TileSize
+	if nb == 0 {
+		nb = 512
+	}
+	return New(Config{Platform: l.Platform, TileSize: nb, Functional: true})
+}
+
+// dimRows/dimCols give the storage dims of an op(X) with logical shape
+// rows×cols.
+func dimRows(t Trans, rows, cols int) int {
+	if t == NoTrans {
+		return rows
+	}
+	return cols
+}
+
+func dimCols(t Trans, rows, cols int) int {
+	if t == NoTrans {
+		return cols
+	}
+	return rows
+}

@@ -1,0 +1,78 @@
+package xkblas
+
+import "xkblas/internal/matrix"
+
+// Complex synchronous wrappers: with the six real routines these complete
+// the paper's "9 standard BLAS subroutines" on the LAPACK layout (§IV-D).
+// Inputs are native column-major []complex128 slices; the wrappers convert
+// to the interleaved device representation on entry and back on return.
+
+// Zgemm computes C = alpha·op(A)·op(B) + beta·C, op ∈ {N, T, C}.
+func (l *DropIn) Zgemm(ta, tb Trans, m, n, k int, alpha complex128, a []complex128, lda int,
+	b []complex128, ldb int, beta complex128, c []complex128, ldc int) Time {
+	h := l.fresh()
+	az := matrix.ZFromComplexSlice(a, dimRows(ta, m, k), dimCols(ta, m, k), lda)
+	bz := matrix.ZFromComplexSlice(b, dimRows(tb, k, n), dimCols(tb, k, n), ldb)
+	cz := matrix.ZFromComplexSlice(c, m, n, ldc)
+	A, B, C := h.RegisterZ(az), h.RegisterZ(bz), h.RegisterZ(cz)
+	t0 := h.Now()
+	h.ZgemmAsync(ta, tb, alpha, A, B, beta, C)
+	h.MemoryCoherentAsync(C)
+	el := h.Sync() - t0
+	cz.CopyToComplexSlice(c, ldc)
+	return el
+}
+
+// Zhemm computes C = alpha·A·B + beta·C with A Hermitian (side Left) or
+// C = alpha·B·A + beta·C (side Right).
+func (l *DropIn) Zhemm(side Side, uplo Uplo, m, n int, alpha complex128, a []complex128, lda int,
+	b []complex128, ldb int, beta complex128, c []complex128, ldc int) Time {
+	h := l.fresh()
+	dim := m
+	if side == Right {
+		dim = n
+	}
+	az := matrix.ZFromComplexSlice(a, dim, dim, lda)
+	bz := matrix.ZFromComplexSlice(b, m, n, ldb)
+	cz := matrix.ZFromComplexSlice(c, m, n, ldc)
+	A, B, C := h.RegisterZ(az), h.RegisterZ(bz), h.RegisterZ(cz)
+	t0 := h.Now()
+	h.ZhemmAsync(side, uplo, alpha, A, B, beta, C)
+	h.MemoryCoherentAsync(C)
+	el := h.Sync() - t0
+	cz.CopyToComplexSlice(c, ldc)
+	return el
+}
+
+// Zherk computes C = alpha·op(A)·op(A)ᴴ + beta·C on the uplo triangle
+// (alpha, beta real; trans ∈ {N, C}).
+func (l *DropIn) Zherk(uplo Uplo, trans Trans, n, k int, alpha float64, a []complex128, lda int,
+	beta float64, c []complex128, ldc int) Time {
+	h := l.fresh()
+	az := matrix.ZFromComplexSlice(a, dimRows(trans, n, k), dimCols(trans, n, k), lda)
+	cz := matrix.ZFromComplexSlice(c, n, n, ldc)
+	A, C := h.RegisterZ(az), h.RegisterZ(cz)
+	t0 := h.Now()
+	h.ZherkAsync(uplo, trans, alpha, A, beta, C)
+	h.MemoryCoherentAsync(C)
+	el := h.Sync() - t0
+	cz.CopyToComplexSlice(c, ldc)
+	return el
+}
+
+// Zher2k computes C = alpha·op(A)·op(B)ᴴ + conj(alpha)·op(B)·op(A)ᴴ +
+// beta·C on the uplo triangle (beta real; trans ∈ {N, C}).
+func (l *DropIn) Zher2k(uplo Uplo, trans Trans, n, k int, alpha complex128, a []complex128, lda int,
+	b []complex128, ldb int, beta float64, c []complex128, ldc int) Time {
+	h := l.fresh()
+	az := matrix.ZFromComplexSlice(a, dimRows(trans, n, k), dimCols(trans, n, k), lda)
+	bz := matrix.ZFromComplexSlice(b, dimRows(trans, n, k), dimCols(trans, n, k), ldb)
+	cz := matrix.ZFromComplexSlice(c, n, n, ldc)
+	A, B, C := h.RegisterZ(az), h.RegisterZ(bz), h.RegisterZ(cz)
+	t0 := h.Now()
+	h.Zher2kAsync(uplo, trans, alpha, A, B, beta, C)
+	h.MemoryCoherentAsync(C)
+	el := h.Sync() - t0
+	cz.CopyToComplexSlice(c, ldc)
+	return el
+}

@@ -1,0 +1,217 @@
+package xkblas_test
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"xkblas"
+)
+
+func fillZ(rng *rand.Rand, xs []complex128) {
+	for i := range xs {
+		xs[i] = complex(2*rng.Float64()-1, 2*rng.Float64()-1)
+	}
+}
+
+func naiveZgemm(ta, tb xkblas.Trans, m, n, k int, alpha complex128, a []complex128, lda int,
+	b []complex128, ldb int, beta complex128, c []complex128, ldc int) {
+	op := func(t xkblas.Trans, x []complex128, ld, i, j int) complex128 {
+		switch t {
+		case xkblas.NoTrans:
+			return x[j*ld+i]
+		case xkblas.Transpose:
+			return x[i*ld+j]
+		default: // ConjTrans
+			return cmplx.Conj(x[i*ld+j])
+		}
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			var s complex128
+			for l := 0; l < k; l++ {
+				s += op(ta, a, lda, i, l) * op(tb, b, ldb, l, j)
+			}
+			c[j*ldc+i] = alpha*s + beta*c[j*ldc+i]
+		}
+	}
+}
+
+func TestDropInZgemm(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	m, n, k := 18, 14, 22
+	a := make([]complex128, m*k)
+	b := make([]complex128, n*k) // stored as Bᴴ operand: n rows, k cols
+	c := make([]complex128, m*n)
+	fillZ(rng, a)
+	fillZ(rng, b)
+	fillZ(rng, c)
+	want := append([]complex128{}, c...)
+	alpha, beta := complex(0.8, -0.3), complex(1.1, 0.4)
+	naiveZgemm(xkblas.NoTrans, xkblas.ConjTrans, m, n, k, alpha, a, m, b, n, beta, want, m)
+
+	lib := &xkblas.DropIn{TileSize: 8}
+	el := lib.Zgemm(xkblas.NoTrans, xkblas.ConjTrans, m, n, k, alpha, a, m, b, n, beta, c, m)
+	if el <= 0 {
+		t.Fatal("no virtual time reported")
+	}
+	for i := range want {
+		if cmplx.Abs(c[i]-want[i]) > 1e-10 {
+			t.Fatalf("mismatch at %d: %v vs %v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestDropInZherkHermitianResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	n, k := 17, 12
+	a := make([]complex128, n*k)
+	c := make([]complex128, n*n)
+	fillZ(rng, a)
+	// Hermitian prior C.
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			x := complex(2*rng.Float64()-1, 2*rng.Float64()-1)
+			if i == j {
+				x = complex(real(x), 0)
+			}
+			c[j*n+i] = x
+			c[i*n+j] = cmplx.Conj(x)
+		}
+	}
+	want := append([]complex128{}, c...)
+	// Reference via naive A·Aᴴ restricted to the lower triangle.
+	full := make([]complex128, n*n)
+	ah := make([]complex128, k*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < k; i++ {
+			ah[j*k+i] = a[i*n+j] // Aᵀ...
+		}
+	}
+	_ = ah
+	naiveZgemm(xkblas.NoTrans, xkblas.ConjTrans, n, n, k, 1, a, n, a, n, 0, full, n)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			v := complex(0.9, 0)*full[j*n+i] + complex(0.5, 0)*want[j*n+i]
+			if i == j {
+				v = complex(real(v), 0)
+			}
+			want[j*n+i] = v
+		}
+	}
+
+	lib := &xkblas.DropIn{TileSize: 8}
+	lib.Zherk(xkblas.Lower, xkblas.NoTrans, n, k, 0.9, a, n, 0.5, c, n)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			if cmplx.Abs(c[j*n+i]-want[j*n+i]) > 1e-10 {
+				t.Fatalf("mismatch at (%d,%d): %v vs %v", i, j, c[j*n+i], want[j*n+i])
+			}
+		}
+		if imag(c[j*n+j]) != 0 {
+			t.Fatalf("diagonal (%d,%d) not real: %v", j, j, c[j*n+j])
+		}
+	}
+}
+
+func TestDropInZhemmZher2kSmoke(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	n, k := 12, 9
+	lib := &xkblas.DropIn{TileSize: 4}
+
+	a := make([]complex128, n*n)
+	b := make([]complex128, n*n)
+	c := make([]complex128, n*n)
+	fillZ(rng, a)
+	fillZ(rng, b)
+	fillZ(rng, c)
+	if el := lib.Zhemm(xkblas.Left, xkblas.Upper, n, n, 1, a, n, b, n, 0, c, n); el <= 0 {
+		t.Fatal("zhemm reported no time")
+	}
+
+	a2 := make([]complex128, n*k)
+	b2 := make([]complex128, n*k)
+	c2 := make([]complex128, n*n)
+	fillZ(rng, a2)
+	fillZ(rng, b2)
+	if el := lib.Zher2k(xkblas.Lower, xkblas.NoTrans, n, k, complex(1, 1), a2, n, b2, n, 1, c2, n); el <= 0 {
+		t.Fatal("zher2k reported no time")
+	}
+	for j := 0; j < n; j++ {
+		if imag(c2[j*n+j]) != 0 {
+			t.Fatal("zher2k diagonal not real")
+		}
+	}
+}
+
+func TestDropInDsymmDsyrk(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	n, k := 15, 11
+	lib := &xkblas.DropIn{TileSize: 4}
+
+	// DSYMM against a naive symmetric product.
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	c := make([]float64, n*n)
+	for i := range a {
+		a[i] = rng.Float64()
+		b[i] = rng.Float64()
+		c[i] = rng.Float64()
+	}
+	// Symmetrize a fully so both triangles agree (DSYMM reads one).
+	for j := 0; j < n; j++ {
+		for i := 0; i < j; i++ {
+			a[j*n+i] = a[i*n+j]
+		}
+	}
+	want := append([]float64{}, c...)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for l := 0; l < n; l++ {
+				s += a[l*n+i] * b[j*n+l]
+			}
+			want[j*n+i] = 0.5*s + 2*want[j*n+i]
+		}
+	}
+	lib.Dsymm(xkblas.Left, xkblas.Lower, n, n, 0.5, a, n, b, n, 2, c, n)
+	for i := range want {
+		if diff := c[i] - want[i]; diff > 1e-10 || diff < -1e-10 {
+			t.Fatalf("dsymm mismatch at %d: %g vs %g", i, c[i], want[i])
+		}
+	}
+
+	// DSYRK lower triangle against naive A·Aᵀ.
+	a2 := make([]float64, n*k)
+	c2 := make([]float64, n*n)
+	for i := range a2 {
+		a2[i] = rng.Float64()
+	}
+	for i := range c2 {
+		c2[i] = rng.Float64()
+	}
+	want2 := append([]float64{}, c2...)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			s := 0.0
+			for l := 0; l < k; l++ {
+				s += a2[l*n+i] * a2[l*n+j]
+			}
+			want2[j*n+i] = 1.5*s + 0.5*want2[j*n+i]
+		}
+	}
+	lib.Dsyrk(xkblas.Lower, xkblas.NoTrans, n, k, 1.5, a2, n, 0.5, c2, n)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			if diff := c2[j*n+i] - want2[j*n+i]; diff > 1e-10 || diff < -1e-10 {
+				t.Fatalf("dsyrk mismatch at (%d,%d)", i, j)
+			}
+		}
+		// Strict upper untouched.
+		for i := 0; i < j; i++ {
+			if c2[j*n+i] != want2[j*n+i] {
+				t.Fatal("dsyrk touched the upper triangle")
+			}
+		}
+	}
+}

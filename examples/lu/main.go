@@ -1,0 +1,112 @@
+// Blocked LU factorization (no pivoting, diagonally dominant input) — a
+// second sparse-solver-style composition: each panel's GETF2 runs on the
+// host while the TRSM row/column solves and the GEMM trailing update
+// compose asynchronously on the GPUs across panels.
+//
+//	go run ./examples/lu
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"xkblas"
+)
+
+// getf2 factorizes the dense block a in place into L\U (unit lower L).
+func getf2(a xkblas.View) error {
+	n := a.N
+	for k := 0; k < n; k++ {
+		piv := a.At(k, k)
+		if piv == 0 {
+			return fmt.Errorf("getf2: zero pivot at %d", k)
+		}
+		for i := k + 1; i < n; i++ {
+			a.Set(i, k, a.At(i, k)/piv)
+		}
+		for j := k + 1; j < n; j++ {
+			akj := a.At(k, j)
+			for i := k + 1; i < n; i++ {
+				a.Add(i, j, -a.At(i, k)*akj)
+			}
+		}
+	}
+	return nil
+}
+
+func main() {
+	const n, nb = 192, 48
+	rng := rand.New(rand.NewSource(13))
+
+	a := xkblas.NewMatrix(n, n)
+	a.FillIdentityPlus(float64(n)+8, rng) // diagonally dominant: pivoting-free LU is stable
+	orig := a.Clone()
+
+	h := xkblas.New(xkblas.Config{TileSize: nb, Functional: true})
+	A := h.Register(a)
+	nt := A.Rows()
+
+	t0 := h.Now()
+	for k := 0; k < nt; k++ {
+		diag := A.Tile(k, k)
+		h.FlushTileAsync(diag)
+		h.Sync()
+		if err := getf2(A.Til.TileView(a, k, k)); err != nil {
+			log.Fatal(err)
+		}
+		h.InvalidateTile(diag)
+		if k+1 == nt {
+			break
+		}
+		diagM := h.SubMatrix(A, k, k, 1, 1)
+		rowPanel := h.SubMatrix(A, k, k+1, 1, nt-(k+1)) // U row block
+		colPanel := h.SubMatrix(A, k+1, k, nt-(k+1), 1) // L column block
+		trail := h.SubMatrix(A, k+1, k+1, nt-(k+1), nt-(k+1))
+		// U[k, k+1:] = L[k,k]⁻¹ · A[k, k+1:]
+		h.TrsmAsync(xkblas.Left, xkblas.Lower, xkblas.NoTrans, xkblas.Unit, 1, diagM, rowPanel)
+		// L[k+1:, k] = A[k+1:, k] · U[k,k]⁻¹
+		h.TrsmAsync(xkblas.Right, xkblas.Upper, xkblas.NoTrans, xkblas.NonUnit, 1, diagM, colPanel)
+		// trailing update composes with the next panel through the DAG
+		h.GemmAsync(xkblas.NoTrans, xkblas.NoTrans, -1, colPanel, rowPanel, 1, trail)
+	}
+	h.MemoryCoherentAsync(A)
+	elapsed := h.Sync() - t0
+
+	// Residual: L·U ≈ A with unit-lower L and upper U packed in a.
+	maxDiff := 0.0
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			s := 0.0
+			kmax := i
+			if j < i {
+				kmax = j
+			}
+			for k := 0; k <= kmax; k++ {
+				l := a.At(i, k)
+				if k == i {
+					l = 1
+				}
+				if k > i {
+					l = 0
+				}
+				u := a.At(k, j)
+				if k > j {
+					u = 0
+				}
+				s += l * u
+			}
+			if d := math.Abs(s - orig.At(i, j)); d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	fmt.Printf("blocked LU n=%d nb=%d: %.6fs virtual on 8 simulated V100s\n",
+		n, nb, float64(elapsed))
+	fmt.Printf("max |L·U - A| = %.3g\n", maxDiff)
+	if maxDiff > 1e-7 {
+		log.Fatal("factorization residual too large")
+	}
+	fmt.Println("factorization verified ✓")
+}

@@ -1,0 +1,56 @@
+// Quickstart: an asynchronous DGEMM on the simulated 8-GPU DGX-1, in
+// functional mode so the numbers are real and checked.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"xkblas"
+)
+
+func main() {
+	const n, nb = 512, 128
+
+	// A library handle bound to a simulated DGX-1 with both of the
+	// paper's heuristics enabled (the default).
+	h := xkblas.New(xkblas.Config{TileSize: nb, Functional: true})
+
+	rng := rand.New(rand.NewSource(42))
+	a := xkblas.NewMatrix(n, n)
+	b := xkblas.NewMatrix(n, n)
+	c := xkblas.NewMatrix(n, n)
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	c.FillRandom(rng)
+
+	// Keep a naive reference of one entry for the check below.
+	wantC00 := c.At(0, 0)
+	for l := 0; l < n; l++ {
+		wantC00 += a.At(0, l) * b.At(l, 0)
+	}
+
+	// Register the LAPACK-layout matrices and issue the asynchronous call.
+	A, B, C := h.Register(a), h.Register(b), h.Register(c)
+	t0 := h.Now()
+	h.GemmAsync(xkblas.NoTrans, xkblas.NoTrans, 1, A, B, 1, C)
+
+	// XKBLAS never copies results back implicitly: coherency is explicit
+	// and lazy, which is what makes kernel composition cheap (§IV-F).
+	h.MemoryCoherentAsync(C)
+	elapsed := h.Sync() - t0
+
+	if math.Abs(c.At(0, 0)-wantC00) > 1e-9 {
+		log.Fatalf("C[0,0] = %g, want %g", c.At(0, 0), wantC00)
+	}
+
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	fmt.Printf("DGEMM n=%d nb=%d on %d simulated V100s\n", n, nb, 8)
+	fmt.Printf("virtual time: %.6fs  →  %.1f GFlop/s (model)\n",
+		float64(elapsed), flops/float64(elapsed)/1e9)
+	fmt.Println("result verified against a naive reference ✓")
+}

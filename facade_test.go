@@ -1,0 +1,145 @@
+package xkblas_test
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"xkblas"
+)
+
+// Public-API coverage of the extension layers: factorizations, complex
+// routines and sub-matrices, all through the xkblas facade.
+
+func TestPublicPotrf(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	const n, nb = 48, 16
+	h := xkblas.New(xkblas.Config{TileSize: nb, Functional: true})
+
+	// SPD matrix.
+	m := xkblas.NewMatrix(n, n)
+	m.FillRandom(rng)
+	a := xkblas.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += m.At(i, k) * m.At(j, k)
+			}
+			if i == j {
+				s += n
+			}
+			a.Set(i, j, s)
+		}
+	}
+	orig := a.Clone()
+
+	A := h.Register(a)
+	h.PotrfAsync(xkblas.Lower, A)
+	h.MemoryCoherentAsync(A)
+	h.Sync()
+
+	// L·Lᵀ ≈ A on the lower triangle.
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			s := 0.0
+			for k := 0; k <= j; k++ {
+				s += a.At(i, k) * a.At(j, k)
+			}
+			if math.Abs(s-orig.At(i, j)) > 1e-8 {
+				t.Fatalf("residual at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPublicComplexRoutines(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	const n, nb = 24, 8
+	h := xkblas.New(xkblas.Config{TileSize: nb, Functional: true})
+	az := xkblas.NewZMat(n, n)
+	az.FillRandom(rng)
+	cz := xkblas.NewZMat(n, n)
+
+	A := h.RegisterZ(az)
+	C := h.RegisterZ(cz)
+	h.ZherkAsync(xkblas.Lower, xkblas.NoTrans, 1, A, 0, C)
+	h.MemoryCoherentAsync(C)
+	h.Sync()
+
+	// Spot-check C[1,0] = Σ_k A[1,k]·conj(A[0,k]).
+	var want complex128
+	for k := 0; k < n; k++ {
+		want += az.At(1, k) * cmplx.Conj(az.At(0, k))
+	}
+	if cmplx.Abs(cz.At(1, 0)-want) > 1e-10 {
+		t.Fatalf("HERK C[1,0] = %v, want %v", cz.At(1, 0), want)
+	}
+	if imag(cz.At(3, 3)) != 0 {
+		t.Fatal("HERK diagonal must be real")
+	}
+}
+
+func TestPublicSubMatrixComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	const n, nb = 32, 8
+	h := xkblas.New(xkblas.Config{TileSize: nb, Functional: true})
+	a := xkblas.NewMatrix(n, n)
+	a.FillRandom(rng)
+	A := h.Register(a)
+
+	// Square the top-left quadrant into the bottom-right quadrant through
+	// tile-aligned sub-matrices.
+	tl := h.SubMatrix(A, 0, 0, 2, 2)
+	br := h.SubMatrix(A, 2, 2, 2, 2)
+	origTL := a.Sub(0, 0, 16, 16).Clone()
+	h.GemmAsync(xkblas.NoTrans, xkblas.NoTrans, 1, tl, tl, 0, br)
+	h.MemoryCoherentAsync(A)
+	h.Sync()
+
+	for j := 0; j < 16; j++ {
+		for i := 0; i < 16; i++ {
+			s := 0.0
+			for k := 0; k < 16; k++ {
+				s += origTL.At(i, k) * origTL.At(k, j)
+			}
+			if math.Abs(a.At(16+i, 16+j)-s) > 1e-10 {
+				t.Fatalf("sub-matrix gemm wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPublicPinning(t *testing.T) {
+	h := xkblas.New(xkblas.Config{TileSize: 1024})
+	m := h.Register(xkblas.NewShape(4096, 4096))
+	t0 := h.Now()
+	h.PinAsync(m)
+	if h.Sync() <= t0 {
+		t.Fatal("pinning must consume virtual time")
+	}
+}
+
+func TestPublicPlatformZoo(t *testing.T) {
+	if xkblas.DGX2().NumGPUs != 16 {
+		t.Error("DGX2 should have 16 GPUs")
+	}
+	if xkblas.DGX2WithGPUs(4).NumGPUs != 4 {
+		t.Error("DGX2WithGPUs(4) wrong")
+	}
+	// A library context works on every platform.
+	for _, plat := range []*xkblas.Platform{
+		xkblas.DGX1(), xkblas.DGX2WithGPUs(8), xkblas.SummitNode(),
+	} {
+		h := xkblas.New(xkblas.Config{Platform: plat, TileSize: 1024})
+		a := h.Register(xkblas.NewShape(4096, 4096))
+		b := h.Register(xkblas.NewShape(4096, 4096))
+		c := h.Register(xkblas.NewShape(4096, 4096))
+		h.GemmAsync(xkblas.NoTrans, xkblas.NoTrans, 1, a, b, 1, c)
+		h.MemoryCoherentAsync(c)
+		if h.Sync() <= 0 {
+			t.Errorf("%s: no virtual time elapsed", plat.Name)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module xkblas
+
+go 1.22

@@ -1,0 +1,177 @@
+package baseline
+
+import (
+	"testing"
+
+	"xkblas/internal/blasops"
+)
+
+// AllLibraries returns the Fig. 5 roster.
+func testRoster() []Library {
+	return []Library{
+		XKBlas(), XKBlasNoHeuristic(), XKBlasNoHeuristicNoTopo(),
+		CuBLASXT(), ChameleonTile(), ChameleonLAPACK(),
+		BLASX(), DPLASMA(), Slate(), CuBLASMG(),
+	}
+}
+
+func req(r blasops.Routine, n, nb int) Request {
+	return Request{Routine: r, N: n, NB: nb}
+}
+
+func TestEveryLibraryRunsItsRoutines(t *testing.T) {
+	for _, lib := range testRoster() {
+		for _, r := range blasops.All() {
+			if !lib.Supports(r) {
+				continue
+			}
+			res := lib.Run(req(r, 4096, 1024))
+			if res.Err != nil {
+				t.Errorf("%s %v: %v", lib.Name(), r, res.Err)
+				continue
+			}
+			if res.Elapsed <= 0 || res.GFlops <= 0 {
+				t.Errorf("%s %v: degenerate result %+v", lib.Name(), r, res)
+			}
+		}
+	}
+}
+
+func TestRoutineCoverageMatchesPaper(t *testing.T) {
+	wantGemmOnly := map[string]bool{"BLASX": true, "DPLASMA": true, "cuBLAS-MG": true}
+	for _, lib := range testRoster() {
+		gemmOnly := true
+		for _, r := range blasops.All() {
+			if r != blasops.Gemm && lib.Supports(r) {
+				gemmOnly = false
+			}
+		}
+		if gemmOnly != wantGemmOnly[lib.Name()] {
+			t.Errorf("%s: gemm-only = %v, want %v", lib.Name(), gemmOnly, wantGemmOnly[lib.Name()])
+		}
+	}
+}
+
+func TestXKBlasBeatsHostOnlyLibraries(t *testing.T) {
+	// The paper's headline: at moderate sizes XKBlas is ~2.8× cuBLAS-XT
+	// and clearly ahead of Slate on GEMM.
+	r := req(blasops.Gemm, 16384, 2048)
+	xk := XKBlas().Run(r)
+	xt := CuBLASXT().Run(r)
+	sl := Slate().Run(r)
+	if xk.Err != nil || xt.Err != nil || sl.Err != nil {
+		t.Fatalf("errors: %v %v %v", xk.Err, xt.Err, sl.Err)
+	}
+	if xk.GFlops <= xt.GFlops {
+		t.Errorf("XKBlas (%.0f) must outperform cuBLAS-XT (%.0f)", xk.GFlops, xt.GFlops)
+	}
+	if xk.GFlops <= sl.GFlops {
+		t.Errorf("XKBlas (%.0f) must outperform Slate (%.0f)", xk.GFlops, sl.GFlops)
+	}
+	if ratio := xk.GFlops / xt.GFlops; ratio < 1.5 {
+		t.Errorf("XKBlas/cuBLAS-XT ratio = %.2f, expected a wide gap (paper: up to 2.84)", ratio)
+	}
+}
+
+func TestHeuristicAblationOrdering(t *testing.T) {
+	// Fig. 3: full XKBlas ≥ no-heuristic ≥ (roughly) no-heuristic-no-topo
+	// on GEMM at a size where communication matters.
+	r := req(blasops.Gemm, 16384, 2048)
+	full := XKBlas().Run(r)
+	noH := XKBlasNoHeuristic().Run(r)
+	noHT := XKBlasNoHeuristicNoTopo().Run(r)
+	if full.Err != nil || noH.Err != nil || noHT.Err != nil {
+		t.Fatalf("errors: %v %v %v", full.Err, noH.Err, noHT.Err)
+	}
+	if full.GFlops <= noH.GFlops {
+		t.Errorf("optimistic heuristic should help: full %.0f vs no-heur %.0f",
+			full.GFlops, noH.GFlops)
+	}
+	if noH.GFlops < noHT.GFlops*0.95 {
+		t.Errorf("no-heur (%.0f) should not lose badly to no-heur-no-topo (%.0f)",
+			noH.GFlops, noHT.GFlops)
+	}
+}
+
+func TestDataOnDeviceFasterThanDataOnHost(t *testing.T) {
+	// Fig. 4 / Table II: removing host transfers raises throughput
+	// substantially at moderate N.
+	host := XKBlas().Run(Request{Routine: blasops.Gemm, N: 16384, NB: 2048})
+	dev := XKBlas().Run(Request{Routine: blasops.Gemm, N: 16384, NB: 2048, Scenario: DataOnDevice})
+	if host.Err != nil || dev.Err != nil {
+		t.Fatalf("errors: %v %v", host.Err, dev.Err)
+	}
+	if dev.GFlops <= host.GFlops {
+		t.Errorf("DoD (%.0f) must beat data-on-host (%.0f)", dev.GFlops, host.GFlops)
+	}
+}
+
+func TestChameleonLAPACKSlowerThanTile(t *testing.T) {
+	r := req(blasops.Gemm, 16384, 2048)
+	tile := ChameleonTile().Run(r)
+	lap := ChameleonLAPACK().Run(r)
+	if tile.Err != nil || lap.Err != nil {
+		t.Fatalf("errors: %v %v", tile.Err, lap.Err)
+	}
+	if lap.GFlops >= tile.GFlops {
+		t.Errorf("LAPACK layout (%.0f) must trail tile layout (%.0f): conversion penalty",
+			lap.GFlops, tile.GFlops)
+	}
+}
+
+func TestBLASXAllocFailureAtHugeN(t *testing.T) {
+	// Fig. 5 caption: "BLASX DGEMM reports memory allocation errors when
+	// running with bigger matrices than 45 000."
+	res := BLASX().Run(req(blasops.Gemm, 49152, 2048))
+	if res.Err == nil {
+		t.Skip("BLASX model completed at N=49152; acceptable if eviction covers it")
+	}
+}
+
+func TestCompositionXKBlasBeatsChameleon(t *testing.T) {
+	// Fig. 8: XKBlas composes TRSM+GEMM without sync gaps; Chameleon pays
+	// an inter-call coherency barrier.
+	r := Request{Routine: blasops.Gemm, N: 16384, NB: 2048}
+	xk := XKBlas().(Composer).RunComposition(r)
+	ch := ChameleonTile().(Composer).RunComposition(r)
+	if xk.Err != nil || ch.Err != nil {
+		t.Fatalf("errors: %v %v", xk.Err, ch.Err)
+	}
+	if xk.GFlops <= ch.GFlops {
+		t.Errorf("composition: XKBlas (%.0f) must beat Chameleon (%.0f)", xk.GFlops, ch.GFlops)
+	}
+}
+
+func TestTraceAttachment(t *testing.T) {
+	res := XKBlas().Run(Request{Routine: blasops.Gemm, N: 8192, NB: 2048, Trace: true})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Rec == nil || len(res.Rec.Events) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	cum := res.Rec.CumulativeByKind()
+	if cum[0] == 0 { // OpKernel
+		t.Fatal("no kernel events recorded")
+	}
+}
+
+func TestNoiseProducesVariedRepetitions(t *testing.T) {
+	base := Request{Routine: blasops.Gemm, N: 8192, NB: 2048, NoiseAmp: 0.02}
+	r1 := base
+	r1.NoiseSeed = 1
+	r2 := base
+	r2.NoiseSeed = 2
+	a := XKBlas().Run(r1)
+	b := XKBlas().Run(r2)
+	if a.Err != nil || b.Err != nil {
+		t.Fatalf("errors: %v %v", a.Err, b.Err)
+	}
+	if a.Elapsed == b.Elapsed {
+		t.Error("different seeds should perturb timings")
+	}
+	c := XKBlas().Run(r1)
+	if c.Elapsed != a.Elapsed {
+		t.Error("same seed must reproduce exactly")
+	}
+}

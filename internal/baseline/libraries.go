@@ -1,0 +1,154 @@
+package baseline
+
+import (
+	"xkblas/internal/blasops"
+	"xkblas/internal/xkrt"
+)
+
+// The library roster of Fig. 5. Public-code routine coverage follows the
+// paper: BLASX and DPLASMA expose GEMM only, cuBLAS-MG only implements
+// GEMM, the rest cover all six.
+
+var allSix = blasops.All()
+var gemmOnly = []blasops.Routine{blasops.Gemm}
+
+// XKBlas returns the full library: both heuristics on, XKaapi work stealing
+// with locality, deep pipeline.
+func XKBlas() Library {
+	return &StdLib{
+		LibName:  "XKBlas",
+		Routines: allSix,
+		Opts: xkrt.Options{
+			TopoAware:  true,
+			Optimistic: true,
+			Window:     4,
+			Scheduler:  xkrt.WorkStealing,
+		},
+	}
+}
+
+// XKBlasNoHeuristic disables the optimistic device-to-device forwarding
+// only ("XKBlas, no heuristic" in Fig. 3).
+func XKBlasNoHeuristic() Library {
+	return &StdLib{
+		LibName:  "XKBlas, no heuristic",
+		Routines: allSix,
+		Opts: xkrt.Options{
+			TopoAware:  true,
+			Optimistic: false,
+			Window:     4,
+			Scheduler:  xkrt.WorkStealing,
+		},
+	}
+}
+
+// XKBlasNoHeuristicNoTopo disables both contributions ("XKBlas, no
+// heuristic, no topo" in Fig. 3): sources among valid replicas are chosen
+// without regard to link performance.
+func XKBlasNoHeuristicNoTopo() Library {
+	return &StdLib{
+		LibName:  "XKBlas, no heuristic, no topo",
+		Routines: allSix,
+		Opts: xkrt.Options{
+			TopoAware:  false,
+			Optimistic: false,
+			Window:     4,
+			Scheduler:  xkrt.WorkStealing,
+		},
+	}
+}
+
+// CuBLASXT models cuBLAS-XT: synchronous per-call semantics, all traffic
+// through the host PCIe links (no peer transfers), shallow stream
+// pipelining. Its composition semantics round-trip results between calls.
+func CuBLASXT() Library {
+	return &StdLib{
+		LibName:  "cuBLAS-XT",
+		Routines: allSix,
+		Opts: xkrt.Options{
+			TopoAware:  false,
+			Optimistic: false,
+			Window:     2,
+			Scheduler:  xkrt.WorkStealing,
+			Sources:    xkrt.SourceHostOnly,
+			// Static round-robin tile assignment: no dynamic migration.
+			NoSteal: true,
+			// cuBLAS-XT streams operand tiles through fixed staging
+			// buffers: nothing is cached across products, so every tile
+			// read crosses PCIe again — the HtoD-dominated profile of
+			// Fig. 6.
+			EvictAfterUse: true,
+		},
+		InterCallBarrier: true,
+	}
+}
+
+// ChameleonTile models Chameleon 1.0 over StarPU 1.3.5 with the DMDAS
+// scheduler and tile storage: peer transfers allowed (any valid source, no
+// topology ranking), no optimistic forwarding, two workers per CUDA device
+// (§IV-A). Composition suffers the coherency synchronisation of Fig. 9.
+func ChameleonTile() Library {
+	return &StdLib{
+		LibName:  "Chameleon Tile",
+		Routines: allSix,
+		Opts: xkrt.Options{
+			TopoAware:  false,
+			Optimistic: false,
+			Window:     2,
+			Scheduler:  xkrt.DMDAS,
+		},
+		InterCallBarrier: true,
+	}
+}
+
+// ChameleonLAPACK is Chameleon Tile plus the host-side LAPACK↔tile layout
+// conversion of every operand and result, the dominant cost the paper
+// reports for this variant (§IV-D).
+func ChameleonLAPACK() Library {
+	return &StdLib{
+		LibName:  "Chameleon LAPACK",
+		Routines: allSix,
+		Opts: xkrt.Options{
+			TopoAware:  false,
+			Optimistic: false,
+			Window:     2,
+			Scheduler:  xkrt.DMDAS,
+		},
+		ConvertGBs:       8, // single-socket repack bandwidth
+		InterCallBarrier: true,
+	}
+}
+
+// BLASX models the public BLASX code: GEMM only, dynamic tile queue, and a
+// two-level software cache that only exploits peer GPUs behind the same
+// PCIe switch (§II-C). Its duplicated cache tiers waste device memory,
+// reproducing the allocation failures Fig. 5 reports past N ≈ 45000.
+func BLASX() Library {
+	return &StdLib{
+		LibName:  "BLASX",
+		Routines: gemmOnly,
+		Opts: xkrt.Options{
+			TopoAware:  false,
+			Optimistic: false,
+			Window:     3,
+			Scheduler:  xkrt.WorkStealing,
+			Sources:    xkrt.SourceSameSwitch,
+		},
+		MemReserve: 0.45,
+	}
+}
+
+// DPLASMA models the DPLASMA/PaRSEC GEMM: hierarchical DAG scheduling with
+// peer transfers but no topology ranking or optimistic forwarding.
+func DPLASMA() Library {
+	return &StdLib{
+		LibName:  "DPLASMA",
+		Routines: gemmOnly,
+		Opts: xkrt.Options{
+			TopoAware:  false,
+			Optimistic: false,
+			Window:     3,
+			Scheduler:  xkrt.DMDAS,
+		},
+	}
+}

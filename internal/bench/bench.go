@@ -1,0 +1,222 @@
+// Package bench is the measurement harness reproducing the paper's
+// methodology (§IV-A): for each (library, routine, N) it sweeps the tile
+// sizes {1024, 2048, 4096} — extended to 8192/16384 for cuBLAS-XT and
+// SLATE — keeps the best-performing tile, discards a warm-up run, and
+// reports the mean of repeated runs with a 95% confidence interval
+// (repetitions differ by deterministic kernel-time jitter seeds).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"xkblas/internal/baseline"
+	"xkblas/internal/blasops"
+	"xkblas/internal/sim"
+)
+
+// Point is one measured series point.
+type Point struct {
+	Lib     string
+	Routine blasops.Routine
+	N       int
+	NB      int // best tile size
+	GFlops  float64
+	CI95    float64 // half-width of the 95% confidence interval, GFlop/s
+	Runs    int
+	Err     error
+}
+
+// Config drives a sweep.
+type Config struct {
+	Libs     []baseline.Library
+	Routines []blasops.Routine
+	Sizes    []int
+	// Tiles lists candidate tile sizes; zero value uses the paper's
+	// {1024, 2048, 4096}.
+	Tiles []int
+	// ExtraTilesFor extends the candidates with {8192, 16384} for the
+	// named libraries (cuBLAS-XT and Slate in the paper).
+	ExtraTilesFor map[string]bool
+	Scenario      baseline.Scenario
+	// Runs is the number of measured repetitions (after one discarded
+	// warm-up); the paper uses 8.
+	Runs int
+	// NoiseAmp is the kernel jitter amplitude (0 disables noise and
+	// collapses the CI to zero).
+	NoiseAmp float64
+	// MaxTilesPerDim caps (N/NB) to bound simulation cost on huge sweeps;
+	// 0 means no cap.
+	MaxTilesPerDim int
+	// Progress, when non-nil, receives one line per completed point.
+	Progress io.Writer
+}
+
+// DefaultTiles is the paper's tile-size candidate set.
+func DefaultTiles() []int { return []int{1024, 2048, 4096} }
+
+// PaperSizes is the matrix-dimension sweep of Figs. 3-5.
+func PaperSizes() []int {
+	return []int{4096, 8192, 12288, 16384, 24576, 32768, 40960, 49152, 57344}
+}
+
+// QuickSizes is a reduced sweep for test/bench binaries.
+func QuickSizes() []int { return []int{8192, 16384, 32768} }
+
+// meanCI returns the sample mean and 95% CI half-width (normal
+// approximation, the convention behind the paper's error bars).
+func meanCI(xs []float64) (mean, ci float64) {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	sd := math.Sqrt(ss / (n - 1))
+	return mean, 1.96 * sd / math.Sqrt(n)
+}
+
+// MeasurePoint measures one (lib, routine, N) with best-tile selection.
+func MeasurePoint(cfg Config, lib baseline.Library, r blasops.Routine, n int) Point {
+	tiles := cfg.Tiles
+	if len(tiles) == 0 {
+		tiles = DefaultTiles()
+	}
+	if cfg.ExtraTilesFor[lib.Name()] {
+		tiles = append(append([]int{}, tiles...), 8192, 16384)
+	}
+	runs := cfg.Runs
+	if runs <= 0 {
+		runs = 8
+	}
+	best := Point{Lib: lib.Name(), Routine: r, N: n, Err: fmt.Errorf("no feasible tile size")}
+	for _, nb := range tiles {
+		if nb > n {
+			continue
+		}
+		if cfg.MaxTilesPerDim > 0 && (n+nb-1)/nb > cfg.MaxTilesPerDim {
+			continue
+		}
+		// Warm-up (discarded) then measured repetitions.
+		var samples []float64
+		var lastErr error
+		for rep := 0; rep <= runs; rep++ {
+			res := lib.Run(baseline.Request{
+				Routine:   r,
+				N:         n,
+				NB:        nb,
+				Scenario:  cfg.Scenario,
+				NoiseAmp:  cfg.NoiseAmp,
+				NoiseSeed: int64(rep)*7919 + int64(n) + int64(nb),
+			})
+			if res.Err != nil {
+				lastErr = res.Err
+				break
+			}
+			if rep == 0 {
+				continue // warm-up
+			}
+			samples = append(samples, res.GFlops)
+		}
+		if lastErr != nil {
+			if best.Err != nil {
+				best.Err = lastErr
+			}
+			continue
+		}
+		mean, ci := meanCI(samples)
+		if best.Err != nil || mean > best.GFlops {
+			best = Point{Lib: lib.Name(), Routine: r, N: n, NB: nb,
+				GFlops: mean, CI95: ci, Runs: len(samples)}
+		}
+	}
+	return best
+}
+
+// RunSweep measures every combination in the config.
+func RunSweep(cfg Config) []Point {
+	var out []Point
+	for _, r := range cfg.Routines {
+		for _, lib := range cfg.Libs {
+			if !lib.Supports(r) {
+				continue
+			}
+			for _, n := range cfg.Sizes {
+				p := MeasurePoint(cfg, lib, r, n)
+				out = append(out, p)
+				if cfg.Progress != nil {
+					if p.Err != nil {
+						fmt.Fprintf(cfg.Progress, "%-8s %-28s N=%-6d ERROR: %v\n", r, p.Lib, n, p.Err)
+					} else {
+						fmt.Fprintf(cfg.Progress, "%-8s %-28s N=%-6d %9.1f ±%6.1f GF/s (nb=%d)\n",
+							r, p.Lib, n, p.GFlops, p.CI95, p.NB)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// WriteCSV emits points as CSV with a header, in a stable order.
+func WriteCSV(w io.Writer, points []Point) error {
+	if _, err := fmt.Fprintln(w, "routine,library,n,nb,gflops,ci95,runs,error"); err != nil {
+		return err
+	}
+	sorted := append([]Point{}, points...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Routine != b.Routine {
+			return a.Routine < b.Routine
+		}
+		if a.Lib != b.Lib {
+			return a.Lib < b.Lib
+		}
+		return a.N < b.N
+	})
+	for _, p := range sorted {
+		errStr := ""
+		if p.Err != nil {
+			errStr = p.Err.Error()
+		}
+		if _, err := fmt.Fprintf(w, "%s,%q,%d,%d,%.2f,%.2f,%d,%q\n",
+			p.Routine, p.Lib, p.N, p.NB, p.GFlops, p.CI95, p.Runs, errStr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series extracts the (N, GFlops) series of one library/routine from a
+// point set, sorted by N.
+func Series(points []Point, lib string, r blasops.Routine) (ns []int, gf []float64) {
+	var ps []Point
+	for _, p := range points {
+		if p.Lib == lib && p.Routine == r && p.Err == nil {
+			ps = append(ps, p)
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].N < ps[j].N })
+	for _, p := range ps {
+		ns = append(ns, p.N)
+		gf = append(gf, p.GFlops)
+	}
+	return ns, gf
+}
+
+// TFlops formats GFlop/s as the paper's TFlop/s axis value.
+func TFlops(gf float64) float64 { return gf / 1000 }
+
+// ElapsedString renders a virtual duration for reports.
+func ElapsedString(t sim.Time) string { return fmt.Sprintf("%.3fs", float64(t)) }

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"xkblas/internal/blasops"
+)
+
+// ASCII rendering of sweep results as TFlop/s-vs-N line charts, one chart
+// per routine — the textual counterpart of the paper's Figs. 3-5.
+
+// glyphsFor derives a distinct one-letter glyph per series from the
+// library names (first unused letter of each name, falling back to
+// digits).
+func glyphsFor(libs []string) map[string]byte {
+	used := make(map[byte]bool)
+	out := make(map[string]byte, len(libs))
+	for _, lib := range libs {
+		var g byte
+		for i := 0; i < len(lib); i++ {
+			c := lib[i]
+			if c >= 'a' && c <= 'z' {
+				c -= 'a' - 'A'
+			}
+			if c >= 'A' && c <= 'Z' && !used[c] {
+				g = c
+				break
+			}
+		}
+		if g == 0 {
+			for c := byte('0'); c <= '9'; c++ {
+				if !used[c] {
+					g = c
+					break
+				}
+			}
+		}
+		used[g] = true
+		out[lib] = g
+	}
+	return out
+}
+
+// PlotSweep renders one chart per routine present in the points.
+func PlotSweep(w io.Writer, points []Point, width, height int) error {
+	byRoutine := make(map[blasops.Routine][]Point)
+	var routines []blasops.Routine
+	for _, p := range points {
+		if p.Err != nil {
+			continue
+		}
+		if _, ok := byRoutine[p.Routine]; !ok {
+			routines = append(routines, p.Routine)
+		}
+		byRoutine[p.Routine] = append(byRoutine[p.Routine], p)
+	}
+	sort.Slice(routines, func(i, j int) bool { return routines[i] < routines[j] })
+	for _, r := range routines {
+		if err := plotRoutine(w, r, byRoutine[r], width, height); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func plotRoutine(w io.Writer, r blasops.Routine, pts []Point, width, height int) error {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	// Collect series names and global ranges.
+	var libs []string
+	seen := make(map[string]bool)
+	minN, maxN := 1<<62, 0
+	maxG := 0.0
+	for _, p := range pts {
+		if !seen[p.Lib] {
+			seen[p.Lib] = true
+			libs = append(libs, p.Lib)
+		}
+		if p.N < minN {
+			minN = p.N
+		}
+		if p.N > maxN {
+			maxN = p.N
+		}
+		if p.GFlops > maxG {
+			maxG = p.GFlops
+		}
+	}
+	sort.Strings(libs)
+	if maxN == minN || maxG <= 0 {
+		_, err := fmt.Fprintf(w, "%s: not enough points to plot\n", r)
+		return err
+	}
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	xOf := func(n int) int {
+		return int(float64(width-1) * float64(n-minN) / float64(maxN-minN))
+	}
+	yOf := func(g float64) int {
+		y := height - 1 - int(float64(height-1)*g/maxG)
+		if y < 0 {
+			y = 0
+		}
+		if y >= height {
+			y = height - 1
+		}
+		return y
+	}
+	glyphs := glyphsFor(libs)
+	for _, lib := range libs {
+		glyph := glyphs[lib]
+		ns, gf := Series(pts, lib, r)
+		for i := range ns {
+			grid[yOf(gf[i])][xOf(ns[i])] = glyph
+			// Interpolate a sparse line toward the next point.
+			if i+1 < len(ns) {
+				x0, y0 := xOf(ns[i]), yOf(gf[i])
+				x1, y1 := xOf(ns[i+1]), yOf(gf[i+1])
+				steps := x1 - x0
+				for s := 1; s < steps; s++ {
+					x := x0 + s
+					y := y0 + (y1-y0)*s/steps
+					if grid[y][x] == ' ' {
+						grid[y][x] = '.'
+					}
+				}
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s (TFlop/s vs N, max %.1f TF)\n", r, TFlops(maxG)); err != nil {
+		return err
+	}
+	for y, row := range grid {
+		label := "      "
+		if y == 0 {
+			label = fmt.Sprintf("%5.1f ", TFlops(maxG))
+		}
+		if y == height-1 {
+			label = "  0.0 "
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s|\n", label, row); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "      %-10d%*d\n", minN, width-10, maxN); err != nil {
+		return err
+	}
+	for _, lib := range libs {
+		if _, err := fmt.Fprintf(w, "      %c = %s\n", glyphs[lib], lib); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xkblas/internal/blasops"
+)
+
+func TestPlotSweepRendersSeries(t *testing.T) {
+	pts := []Point{
+		{Lib: "XKBlas", Routine: blasops.Gemm, N: 8192, GFlops: 25000},
+		{Lib: "XKBlas", Routine: blasops.Gemm, N: 16384, GFlops: 43000},
+		{Lib: "XKBlas", Routine: blasops.Gemm, N: 32768, GFlops: 54000},
+		{Lib: "Slate", Routine: blasops.Gemm, N: 8192, GFlops: 14000},
+		{Lib: "Slate", Routine: blasops.Gemm, N: 16384, GFlops: 23000},
+		{Lib: "Slate", Routine: blasops.Gemm, N: 32768, GFlops: 38000},
+		{Lib: "XKBlas", Routine: blasops.Trsm, N: 8192, GFlops: 12000},
+		{Lib: "XKBlas", Routine: blasops.Trsm, N: 16384, GFlops: 28000},
+	}
+	var buf bytes.Buffer
+	if err := PlotSweep(&buf, pts, 60, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "GEMM (TFlop/s vs N") || !strings.Contains(out, "TRSM (TFlop/s vs N") {
+		t.Fatalf("missing charts:\n%s", out)
+	}
+	if !strings.Contains(out, "X = XKBlas") || !strings.Contains(out, "S = Slate") {
+		t.Fatalf("legend glyphs wrong:\n%s", out)
+	}
+	// The top row carries the max label; series glyphs must appear.
+	if !strings.Contains(out, "X") || !strings.Contains(out, "S") {
+		t.Fatal("series glyphs absent")
+	}
+}
+
+func TestPlotSweepSkipsErrorsAndDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	pts := []Point{
+		{Lib: "A", Routine: blasops.Gemm, N: 8192, GFlops: 100, Err: nil},
+		{Lib: "B", Routine: blasops.Gemm, N: 8192, GFlops: 0,
+			Err: strings.NewReader("").UnreadRune()},
+	}
+	if err := PlotSweep(&buf, pts, 40, 6); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "not enough points") {
+		t.Fatalf("single-N series should report not-plottable: %s", buf.String())
+	}
+}
+
+func TestGlyphsForDistinct(t *testing.T) {
+	g := glyphsFor([]string{"XKBlas", "XKBlas, no heuristic", "Slate", "cuBLAS-XT", "Chameleon Tile"})
+	seen := make(map[byte]bool)
+	for lib, b := range g {
+		if b == 0 {
+			t.Fatalf("no glyph for %s", lib)
+		}
+		if seen[b] {
+			t.Fatalf("duplicate glyph %c", b)
+		}
+		seen[b] = true
+	}
+	if g["XKBlas"] != 'X' {
+		t.Fatalf("XKBlas glyph = %c, want X", g["XKBlas"])
+	}
+}

@@ -1,0 +1,179 @@
+// Package blasops defines the shared vocabulary of the level-3 BLAS: routine
+// identifiers, the transpose/side/triangle/diagonal flags, and the standard
+// floating-point operation counts used to convert execution times into the
+// GFlop/s the paper reports.
+package blasops
+
+import "fmt"
+
+// Trans selects op(A) = A or Aᵀ.
+type Trans byte
+
+const (
+	NoTrans   Trans = 'N'
+	Transpose Trans = 'T'
+	// ConjTrans selects op(A) = Aᴴ (complex routines only; identical to
+	// Transpose for real data).
+	ConjTrans Trans = 'C'
+)
+
+// Side selects whether the symmetric/triangular operand multiplies from the
+// left or the right.
+type Side byte
+
+const (
+	Left  Side = 'L'
+	Right Side = 'R'
+)
+
+// Uplo selects the stored triangle of a symmetric/triangular matrix.
+type Uplo byte
+
+const (
+	Lower Uplo = 'L'
+	Upper Uplo = 'U'
+)
+
+// Diag declares whether a triangular matrix has an implicit unit diagonal.
+type Diag byte
+
+const (
+	NonUnit Diag = 'N'
+	Unit    Diag = 'U'
+)
+
+func (t Trans) String() string { return string(t) }
+func (s Side) String() string  { return string(s) }
+func (u Uplo) String() string  { return string(u) }
+func (d Diag) String() string  { return string(d) }
+
+// Routine identifies one of the six level-3 BLAS subroutines the paper
+// evaluates (Fig. 5).
+type Routine int
+
+const (
+	Gemm Routine = iota
+	Symm
+	Syr2k
+	Syrk
+	Trmm
+	Trsm
+	// Complex/Hermitian routines: with ZGEMM they complete "the 9
+	// standard BLAS subroutines supporting the LAPACK matrix data layout"
+	// of §IV-D (the six real ones plus the Hermitian versions of SYMM,
+	// SYR2K and SYRK).
+	Zgemm
+	Hemm
+	Her2k
+	Herk
+	// One-sided factorizations built on the BLAS-3 tasks (the MUMPS-style
+	// workloads of the paper's conclusion).
+	Potrf
+	Getrf
+	numRoutines
+)
+
+// All lists the six real routines in the paper's figure order.
+func All() []Routine {
+	return []Routine{Gemm, Symm, Syr2k, Syrk, Trmm, Trsm}
+}
+
+// Hermitian lists the complex routines of the "9 subroutines" remark.
+func Hermitian() []Routine {
+	return []Routine{Zgemm, Hemm, Her2k, Herk}
+}
+
+func (r Routine) String() string {
+	switch r {
+	case Gemm:
+		return "GEMM"
+	case Symm:
+		return "SYMM"
+	case Syr2k:
+		return "SYR2K"
+	case Syrk:
+		return "SYRK"
+	case Trmm:
+		return "TRMM"
+	case Trsm:
+		return "TRSM"
+	case Zgemm:
+		return "ZGEMM"
+	case Hemm:
+		return "HEMM"
+	case Her2k:
+		return "HER2K"
+	case Herk:
+		return "HERK"
+	case Potrf:
+		return "POTRF"
+	case Getrf:
+		return "GETRF"
+	default:
+		return fmt.Sprintf("Routine(%d)", int(r))
+	}
+}
+
+// ParseRoutine converts a routine name (case sensitive, as printed by
+// String) back to its identifier.
+func ParseRoutine(s string) (Routine, error) {
+	for _, r := range append(All(), Hermitian()...) {
+		if r.String() == s {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("blasops: unknown routine %q", s)
+}
+
+// Flops reports the standard operation count of a routine on the given
+// problem dimensions, following the LAPACK working-note conventions used by
+// every library's GFlop/s reporting in the paper:
+//
+//	GEMM  m×n×k        2mnk
+//	SYMM  side L: A m×m 2m²n  (side R: 2mn²)
+//	SYR2K C n×n, k      2kn(n+1) ≈ 2kn²
+//	SYRK  C n×n, k      kn(n+1) ≈ kn²
+//	TRMM  side L: A m×m nm²   (side R: mn²)
+//	TRSM  side L: A m×m nm²   (side R: mn²)
+//
+// For SYMM/TRMM/TRSM, pass the side via the k argument convention used by
+// FlopsSided when the side matters; Flops assumes Left.
+func Flops(r Routine, m, n, k int) float64 {
+	fm, fn, fk := float64(m), float64(n), float64(k)
+	switch r {
+	case Gemm:
+		return 2 * fm * fn * fk
+	case Symm:
+		return 2 * fm * fm * fn
+	case Syr2k:
+		return 2 * fk * fn * (fn + 1)
+	case Syrk:
+		return fk * fn * (fn + 1)
+	case Trmm:
+		return fn * fm * fm
+	case Trsm:
+		return fn * fm * fm
+	// Complex counts follow the LAPACK convention: one complex
+	// multiply-add = 8 real flops.
+	case Zgemm:
+		return 8 * fm * fn * fk
+	case Hemm:
+		return 8 * fm * fm * fn
+	case Her2k:
+		return 8 * fk * fn * (fn + 1)
+	case Herk:
+		return 4 * fk * fn * (fn + 1)
+	case Potrf:
+		return fn * fn * fn / 3
+	case Getrf:
+		return 2 * fn * fn * fn / 3
+	default:
+		panic("blasops: unknown routine")
+	}
+}
+
+// FlopsSquare reports the operation count for the square N-dimension
+// problems of the paper's sweeps (all operands N×N).
+func FlopsSquare(r Routine, n int) float64 {
+	return Flops(r, n, n, n)
+}

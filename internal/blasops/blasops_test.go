@@ -1,0 +1,89 @@
+package blasops
+
+import "testing"
+
+func TestRoutineNamesRoundTrip(t *testing.T) {
+	for _, r := range append(All(), Hermitian()...) {
+		got, err := ParseRoutine(r.String())
+		if err != nil {
+			t.Fatalf("%v: %v", r, err)
+		}
+		if got != r {
+			t.Fatalf("roundtrip %v -> %v", r, got)
+		}
+	}
+	if _, err := ParseRoutine("NOPE"); err == nil {
+		t.Fatal("expected error for unknown routine")
+	}
+}
+
+func TestAllListsSixPaperRoutines(t *testing.T) {
+	if len(All()) != 6 {
+		t.Fatalf("All() = %d routines, want the paper's 6", len(All()))
+	}
+	if len(Hermitian()) != 4 {
+		t.Fatalf("Hermitian() = %d routines, want 4 (ZGEMM+HEMM+HER2K+HERK)", len(Hermitian()))
+	}
+}
+
+func TestFlopCounts(t *testing.T) {
+	cases := []struct {
+		r       Routine
+		m, n, k int
+		want    float64
+	}{
+		{Gemm, 10, 20, 30, 2 * 10 * 20 * 30},
+		{Symm, 10, 20, 0, 2 * 10 * 10 * 20},
+		{Syrk, 0, 10, 20, 20 * 10 * 11},
+		{Syr2k, 0, 10, 20, 2 * 20 * 10 * 11},
+		{Trmm, 10, 20, 0, 20 * 10 * 10},
+		{Trsm, 10, 20, 0, 20 * 10 * 10},
+		{Zgemm, 10, 20, 30, 8 * 10 * 20 * 30},
+		{Hemm, 10, 20, 0, 8 * 10 * 10 * 20},
+		{Herk, 0, 10, 20, 4 * 20 * 10 * 11},
+		{Her2k, 0, 10, 20, 8 * 20 * 10 * 11},
+		{Potrf, 0, 12, 0, 12 * 12 * 12 / 3},
+		{Getrf, 0, 12, 0, 2 * 12 * 12 * 12 / 3},
+	}
+	for _, c := range cases {
+		if got := Flops(c.r, c.m, c.n, c.k); got != c.want {
+			t.Errorf("Flops(%v,%d,%d,%d) = %g, want %g", c.r, c.m, c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestFlopsSquareConsistency(t *testing.T) {
+	for _, r := range All() {
+		if FlopsSquare(r, 100) != Flops(r, 100, 100, 100) {
+			t.Errorf("%v: FlopsSquare inconsistent", r)
+		}
+	}
+}
+
+func TestFlagStrings(t *testing.T) {
+	if NoTrans.String() != "N" || Transpose.String() != "T" || ConjTrans.String() != "C" {
+		t.Fatal("trans names wrong")
+	}
+	if Left.String() != "L" || Right.String() != "R" {
+		t.Fatal("side names wrong")
+	}
+	if Lower.String() != "L" || Upper.String() != "U" {
+		t.Fatal("uplo names wrong")
+	}
+	if NonUnit.String() != "N" || Unit.String() != "U" {
+		t.Fatal("diag names wrong")
+	}
+}
+
+func TestUnknownRoutineStringAndFlopsPanics(t *testing.T) {
+	bogus := Routine(999)
+	if bogus.String() == "" {
+		t.Fatal("String should describe unknown routines")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Flops on unknown routine should panic")
+		}
+	}()
+	Flops(bogus, 1, 1, 1)
+}

@@ -1,0 +1,557 @@
+// Package cache implements the XKaapi multi-GPU software cache of §III-A:
+// every tile of a registered matrix is tracked with the set of devices
+// holding a valid replica, a single-writer dirty state (a simplified MOSI
+// protocol), and — the metadata extension of §III-C — an *under-transfer*
+// state recording replicas currently in flight to a GPU, which the
+// optimistic heuristic chains on instead of re-reading host memory.
+//
+// The cache also owns device memory: replicas are allocated from the GPU
+// memory pools and evicted in LRU order with read-only (clean) replicas
+// evicted first, XKaapi's eviction policy.
+//
+// In functional mode the cache moves real float64 tile data so numerics can
+// be verified end-to-end; in timing mode replicas are metadata only.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+
+	"xkblas/internal/device"
+	"xkblas/internal/matrix"
+	"xkblas/internal/sim"
+	"xkblas/internal/topology"
+)
+
+// MatrixID identifies a registered matrix.
+type MatrixID int
+
+// TileKey identifies one tile of one registered matrix.
+type TileKey struct {
+	Mat  MatrixID
+	I, J int
+}
+
+func (k TileKey) String() string { return fmt.Sprintf("m%d[%d,%d]", k.Mat, k.I, k.J) }
+
+// TransferKind classifies a data movement for tracing (the categories of
+// Fig. 6/7: memcpy HtoD, DtoH, PtoP).
+type TransferKind int
+
+const (
+	HostToDevice TransferKind = iota
+	DeviceToHost
+	PeerToPeer
+)
+
+func (k TransferKind) String() string {
+	switch k {
+	case HostToDevice:
+		return "HtoD"
+	case DeviceToHost:
+		return "DtoH"
+	case PeerToPeer:
+		return "PtoP"
+	default:
+		return "?"
+	}
+}
+
+// Observer receives completed-transfer notifications; the trace recorder
+// implements it.
+type Observer interface {
+	OnTransfer(kind TransferKind, src, dst topology.DeviceID, bytes int64, start, end sim.Time)
+}
+
+// replica is the per-device state of one tile.
+type replica struct {
+	valid bool
+	dirty bool
+	pins  int
+	buf   matrix.View   // dense device copy (functional mode only)
+	lruEl *list.Element // position in the device's LRU list
+}
+
+// Inflight records a transfer (or a chained wait) whose payload is heading
+// to a device; waiters fire once the replica is valid there. A record may
+// exist before the physical transfer starts: the optimistic heuristic marks
+// the destination as under-transfer while it waits for the upstream hop.
+type Inflight struct {
+	Dst     topology.DeviceID
+	started bool
+	waiters []func()
+}
+
+// Tile is the cache record of one matrix tile.
+type Tile struct {
+	Key   TileKey
+	M, N  int
+	Bytes int64
+
+	// Host is the authoritative LAPACK-layout sub-view in host memory
+	// (nil data in timing mode).
+	Host matrix.View
+
+	// Owner is the owner-computes device; -1 until assigned.
+	Owner topology.DeviceID
+
+	hostValid bool
+	reps      map[topology.DeviceID]*replica
+	inflight  map[topology.DeviceID]*Inflight
+	flushing  bool
+	flushWait []func()
+}
+
+// lruEntry is what LRU lists store.
+type lruEntry struct {
+	tile *Tile
+	dev  topology.DeviceID
+}
+
+// Stats aggregates cache traffic.
+type Stats struct {
+	H2DBytes, D2HBytes, P2PBytes int64
+	H2DCount, D2HCount, P2PCount int64
+	Evictions                    int64
+}
+
+// Cache is the multi-GPU software cache.
+type Cache struct {
+	Plat       *device.Platform
+	Functional bool
+	Observer   Observer
+
+	nextMat MatrixID
+	lru     []*list.List // per device
+	stats   Stats
+}
+
+// New creates a cache over a simulated platform. functional selects whether
+// tile payloads carry real data.
+func New(plat *device.Platform, functional bool) *Cache {
+	c := &Cache{Plat: plat, Functional: functional}
+	for range plat.GPUs {
+		c.lru = append(c.lru, list.New())
+	}
+	return c
+}
+
+// Stats returns a copy of the traffic counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// NewMatrixID reserves a fresh matrix identifier.
+func (c *Cache) NewMatrixID() MatrixID {
+	id := c.nextMat
+	c.nextMat++
+	return id
+}
+
+// NewTile registers a tile backed by the given host sub-view. Host data is
+// initially valid on the host only.
+func (c *Cache) NewTile(key TileKey, host matrix.View) *Tile {
+	return &Tile{
+		Key:       key,
+		M:         host.M,
+		N:         host.N,
+		Bytes:     host.Bytes(),
+		Host:      host,
+		Owner:     -1,
+		hostValid: true,
+		reps:      make(map[topology.DeviceID]*replica),
+		inflight:  make(map[topology.DeviceID]*Inflight),
+	}
+}
+
+// HostValid reports whether the host copy is current.
+func (t *Tile) HostValid() bool { return t.hostValid }
+
+// ValidOn reports whether dev holds a valid replica.
+func (t *Tile) ValidOn(dev topology.DeviceID) bool {
+	r, ok := t.reps[dev]
+	return ok && r.valid
+}
+
+// DirtyOn reports the device holding the sole modified replica, or -1.
+func (t *Tile) DirtyOn() topology.DeviceID {
+	for d, r := range t.reps {
+		if r.valid && r.dirty {
+			return d
+		}
+	}
+	return -1
+}
+
+// ValidGPUs lists devices holding valid replicas in ascending id order.
+func (t *Tile) ValidGPUs() []topology.DeviceID {
+	var out []topology.DeviceID
+	for d := topology.DeviceID(0); int(d) < len(t.repsUpper()); d++ {
+		if t.ValidOn(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// repsUpper gives an iteration bound: device ids are dense starting at 0.
+func (t *Tile) repsUpper() []struct{} {
+	max := 0
+	for d := range t.reps {
+		if int(d)+1 > max {
+			max = int(d) + 1
+		}
+	}
+	return make([]struct{}, max)
+}
+
+// InflightDsts lists devices with a replica under transfer, ascending.
+func (t *Tile) InflightDsts() []topology.DeviceID {
+	var out []topology.DeviceID
+	for d := range t.inflight {
+		out = append(out, d)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort: tiny slices
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// InflightTo reports whether a transfer to dev is in progress.
+func (t *Tile) InflightTo(dev topology.DeviceID) bool {
+	_, ok := t.inflight[dev]
+	return ok
+}
+
+// AddInflightWaiter registers fn to run when the pending transfer to dev
+// completes. It panics if no transfer to dev is in flight.
+func (t *Tile) AddInflightWaiter(dev topology.DeviceID, fn func()) {
+	inf, ok := t.inflight[dev]
+	if !ok {
+		panic(fmt.Sprintf("cache: no inflight to %d for %v", dev, t.Key))
+	}
+	inf.waiters = append(inf.waiters, fn)
+}
+
+// Pin prevents the replica on dev from being evicted. Valid replica
+// required.
+func (c *Cache) Pin(t *Tile, dev topology.DeviceID) {
+	r := t.reps[dev]
+	if r == nil || !r.valid {
+		panic(fmt.Sprintf("cache: pin of invalid replica %v on %d", t.Key, dev))
+	}
+	r.pins++
+}
+
+// Unpin releases one pin.
+func (c *Cache) Unpin(t *Tile, dev topology.DeviceID) {
+	r := t.reps[dev]
+	if r == nil || r.pins <= 0 {
+		panic(fmt.Sprintf("cache: unbalanced unpin %v on %d", t.Key, dev))
+	}
+	r.pins--
+}
+
+// Touch moves the replica to the most-recently-used position.
+func (c *Cache) Touch(t *Tile, dev topology.DeviceID) {
+	if r := t.reps[dev]; r != nil && r.lruEl != nil {
+		c.lru[dev].MoveToBack(r.lruEl)
+	}
+}
+
+// DeviceBuf returns the dense device replica view for kernel bodies
+// (functional mode). The replica must be valid.
+func (c *Cache) DeviceBuf(t *Tile, dev topology.DeviceID) matrix.View {
+	r := t.reps[dev]
+	if r == nil || !r.valid {
+		panic(fmt.Sprintf("cache: no valid replica of %v on %d", t.Key, dev))
+	}
+	return r.buf
+}
+
+// ensureReplica allocates (evicting as needed) an invalid replica record
+// with buffer space on dev.
+func (c *Cache) ensureReplica(t *Tile, dev topology.DeviceID) (*replica, error) {
+	if r, ok := t.reps[dev]; ok {
+		return r, nil
+	}
+	pool := c.Plat.GPU(dev).Mem
+	if !pool.Alloc(t.Bytes) {
+		if err := c.evict(dev, t.Bytes); err != nil {
+			return nil, err
+		}
+		if !pool.Alloc(t.Bytes) {
+			return nil, fmt.Errorf("cache: GPU %d out of memory for %v (%d bytes)", dev, t.Key, t.Bytes)
+		}
+	}
+	r := &replica{}
+	if c.Functional {
+		r.buf = matrix.New(t.M, t.N)
+	}
+	r.lruEl = c.lru[dev].PushBack(lruEntry{tile: t, dev: dev})
+	t.reps[dev] = r
+	return r, nil
+}
+
+// evict frees at least need bytes on dev by dropping unpinned clean
+// replicas in LRU order. XKaapi's policy: read-only (clean) data first;
+// dirty replicas are never dropped silently (they hold the only copy).
+func (c *Cache) evict(dev topology.DeviceID, need int64) error {
+	pool := c.Plat.GPU(dev).Mem
+	l := c.lru[dev]
+	for e := l.Front(); e != nil && pool.Available() < need; {
+		next := e.Next()
+		ent := e.Value.(lruEntry)
+		r := ent.tile.reps[dev]
+		if r != nil && r.pins == 0 && !r.dirty && !ent.tile.InflightTo(dev) {
+			c.dropReplica(ent.tile, dev)
+			c.stats.Evictions++
+		}
+		e = next
+	}
+	if pool.Available() < need {
+		return fmt.Errorf("cache: cannot evict %d bytes on GPU %d (used %d/%d, all pinned or dirty)",
+			need, dev, pool.Used(), pool.Capacity())
+	}
+	return nil
+}
+
+// dropReplica removes the replica record and frees its memory.
+func (c *Cache) dropReplica(t *Tile, dev topology.DeviceID) {
+	r := t.reps[dev]
+	if r == nil {
+		return
+	}
+	if r.lruEl != nil {
+		c.lru[dev].Remove(r.lruEl)
+	}
+	c.Plat.GPU(dev).Mem.Free(t.Bytes)
+	delete(t.reps, dev)
+}
+
+// StartTransfer begins moving the tile from src (a valid replica holder or
+// Host) to GPU dst and registers the under-transfer state. done (may be
+// nil) fires after the replica is valid on dst. The source replica is
+// pinned for the duration.
+func (c *Cache) StartTransfer(t *Tile, src, dst topology.DeviceID, done func()) error {
+	if dst == topology.Host {
+		panic("cache: use FlushToHost for device-to-host")
+	}
+	if t.ValidOn(dst) {
+		panic(fmt.Sprintf("cache: transfer to already-valid replica %v on %d", t.Key, dst))
+	}
+	if inf := t.inflight[dst]; inf != nil && inf.started {
+		panic(fmt.Sprintf("cache: duplicate transfer of %v to %d", t.Key, dst))
+	}
+	if src == topology.Host {
+		if !t.hostValid {
+			return fmt.Errorf("cache: host copy of %v invalid", t.Key)
+		}
+	} else if !t.ValidOn(src) {
+		return fmt.Errorf("cache: source %d has no valid replica of %v", src, t.Key)
+	}
+	if _, err := c.ensureReplica(t, dst); err != nil {
+		return err
+	}
+	if src != topology.Host {
+		c.Pin(t, src)
+	}
+	inf := t.inflight[dst]
+	if inf == nil {
+		inf = &Inflight{Dst: dst}
+		t.inflight[dst] = inf
+	}
+	inf.started = true
+	if done != nil {
+		inf.waiters = append(inf.waiters, done)
+	}
+	kind := PeerToPeer
+	if src == topology.Host {
+		kind = HostToDevice
+	}
+	c.Plat.Transfer(src, dst, t.Bytes, func(start, end sim.Time) {
+		c.completeTransfer(t, src, dst, kind, start, end)
+	})
+	return nil
+}
+
+func (c *Cache) completeTransfer(t *Tile, src, dst topology.DeviceID, kind TransferKind, start, end sim.Time) {
+	r := t.reps[dst]
+	if r == nil {
+		panic(fmt.Sprintf("cache: replica of %v on %d vanished mid-transfer", t.Key, dst))
+	}
+	if c.Functional {
+		if src == topology.Host {
+			// cudaMemcpy2D semantics of §III-A: the strided host sub-matrix
+			// is compacted to a dense device tile (ld = m).
+			r.buf.CopyFrom(t.Host)
+		} else {
+			r.buf.CopyFrom(c.DeviceBuf(t, src))
+		}
+	}
+	r.valid = true
+	if src != topology.Host {
+		c.Unpin(t, src)
+	}
+	switch kind {
+	case HostToDevice:
+		c.stats.H2DBytes += t.Bytes
+		c.stats.H2DCount++
+	case PeerToPeer:
+		c.stats.P2PBytes += t.Bytes
+		c.stats.P2PCount++
+	}
+	if c.Observer != nil {
+		c.Observer.OnTransfer(kind, src, dst, t.Bytes, c.serviceStart(src, dst, t.Bytes, start, end), end)
+	}
+	inf := t.inflight[dst]
+	delete(t.inflight, dst)
+	c.Touch(t, dst)
+	for _, w := range inf.waiters {
+		w()
+	}
+}
+
+// serviceStart converts a transfer's [queued-start, delivery-end] interval
+// into the DMA-busy interval an nvprof-style trace would report: the
+// unloaded service time ending at delivery. Queueing behind other transfers
+// on shared hops is thereby excluded from busy-time accounting (§IV-E).
+func (c *Cache) serviceStart(src, dst topology.DeviceID, bytes int64, start, end sim.Time) sim.Time {
+	s := end - c.Plat.TransferEstimate(src, dst, bytes)
+	if s < start {
+		return start
+	}
+	return s
+}
+
+// MarkInflight registers a synthetic under-transfer state to dst without
+// starting a platform transfer yet; the optimistic heuristic uses it to
+// chain a forward hop onto a pending arrival. CompleteSynthetic must be
+// called by the party that later makes the replica valid.
+func (c *Cache) MarkInflight(t *Tile, dst topology.DeviceID) *Inflight {
+	if t.InflightTo(dst) {
+		panic(fmt.Sprintf("cache: duplicate inflight mark for %v on %d", t.Key, dst))
+	}
+	inf := &Inflight{Dst: dst}
+	t.inflight[dst] = inf
+	return inf
+}
+
+// AllocRaw prepares a replica buffer on dev with undefined contents and
+// marks it valid without a dirty transition: the caller is about to produce
+// the tile's next version on dev (write-only kernel output) and will call
+// MarkDirty once the kernel completes. The dependency layer guarantees no
+// other consumer reads this version before then.
+func (c *Cache) AllocRaw(t *Tile, dev topology.DeviceID) error {
+	r, err := c.ensureReplica(t, dev)
+	if err != nil {
+		return err
+	}
+	r.valid = true
+	return nil
+}
+
+// AllocForWrite prepares a writable replica on dev without any data
+// movement (write-only access): the buffer is allocated and immediately
+// marked valid+dirty, invalidating every other copy.
+func (c *Cache) AllocForWrite(t *Tile, dev topology.DeviceID) error {
+	r, err := c.ensureReplica(t, dev)
+	if err != nil {
+		return err
+	}
+	r.valid = true
+	c.MarkDirty(t, dev)
+	return nil
+}
+
+// MarkDirty records that dev has modified its replica: every other replica
+// and the host copy become invalid (single-writer MOSI transition).
+func (c *Cache) MarkDirty(t *Tile, dev topology.DeviceID) {
+	r := t.reps[dev]
+	if r == nil || !r.valid {
+		panic(fmt.Sprintf("cache: MarkDirty on invalid replica %v@%d", t.Key, dev))
+	}
+	for d, other := range t.reps {
+		if d == dev {
+			continue
+		}
+		if other.pins > 0 || t.InflightTo(d) {
+			// A stale read in flight: the dependency layer must prevent
+			// this; failing loudly beats silent corruption.
+			panic(fmt.Sprintf("cache: invalidating in-use replica %v@%d", t.Key, d))
+		}
+		c.dropReplica(t, d)
+	}
+	r.dirty = true
+	t.hostValid = false
+}
+
+// FlushToHost writes the dirty replica back to host memory (DtoH path of
+// Fig. 6), leaving the device replica valid and clean (Owned→Shared). done
+// may be nil. Flushing an already-coherent tile fires done immediately.
+func (c *Cache) FlushToHost(t *Tile, done func()) {
+	if t.hostValid {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	dev := t.DirtyOn()
+	if dev < 0 {
+		panic(fmt.Sprintf("cache: %v host-invalid with no dirty replica", t.Key))
+	}
+	if done != nil {
+		t.flushWait = append(t.flushWait, done)
+	}
+	if t.flushing {
+		return
+	}
+	t.flushing = true
+	c.Pin(t, dev)
+	c.Plat.Transfer(dev, topology.Host, t.Bytes, func(start, end sim.Time) {
+		if c.Functional {
+			t.Host.CopyFrom(c.DeviceBuf(t, dev))
+		}
+		c.Unpin(t, dev)
+		r := t.reps[dev]
+		r.dirty = false
+		t.hostValid = true
+		t.flushing = false
+		c.stats.D2HBytes += t.Bytes
+		c.stats.D2HCount++
+		if c.Observer != nil {
+			c.Observer.OnTransfer(DeviceToHost, dev, topology.Host, t.Bytes,
+				c.serviceStart(dev, topology.Host, t.Bytes, start, end), end)
+		}
+		ws := t.flushWait
+		t.flushWait = nil
+		for _, w := range ws {
+			w()
+		}
+	})
+}
+
+// DropClean discards dev's replica if it is clean, unpinned and not under
+// transfer; used to model streaming libraries (cuBLAS-XT) and per-panel
+// re-broadcast (SLATE) that do not retain operands in device memory.
+func (c *Cache) DropClean(t *Tile, dev topology.DeviceID) {
+	r := t.reps[dev]
+	if r == nil || r.dirty || r.pins > 0 || t.InflightTo(dev) {
+		return
+	}
+	c.dropReplica(t, dev)
+}
+
+// Invalidate drops every device replica of a clean tile (host must be
+// valid); used when user code rewrites host data between calls.
+func (c *Cache) Invalidate(t *Tile) {
+	if !t.hostValid {
+		panic(fmt.Sprintf("cache: invalidating %v whose only copy is on-device", t.Key))
+	}
+	for d, r := range t.reps {
+		if r.pins > 0 || t.InflightTo(d) {
+			panic(fmt.Sprintf("cache: invalidating in-use replica %v@%d", t.Key, d))
+		}
+		c.dropReplica(t, d)
+	}
+}

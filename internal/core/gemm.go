@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+
+	"xkblas/internal/cache"
+	"xkblas/internal/xkrt"
+)
+
+// opTile resolves tile (i,k) of op(A).
+func opTile(ta Trans, a *xkrt.Matrix, i, k int) *cache.Tile {
+	if ta == NoTrans {
+		return a.Tile(i, k)
+	}
+	return a.Tile(k, i)
+}
+
+// opGrid reports the tile-grid shape of op(A).
+func opGrid(ta Trans, a *xkrt.Matrix) (rows, cols int) {
+	if ta == NoTrans {
+		return a.Rows(), a.Cols()
+	}
+	return a.Cols(), a.Rows()
+}
+
+// GemmAsync submits C = alpha·op(A)·op(B) + beta·C as tile tasks — the
+// PLASMA pdgemm loop nest over sub-matrix views. All four transpose
+// combinations are supported. The call returns immediately; dependencies,
+// transfers and device mapping are resolved by the runtime.
+func (h *Handle) GemmAsync(ta, tb Trans, alpha float64, a, b *xkrt.Matrix, beta float64, c *xkrt.Matrix) {
+	am, ak := opGrid(ta, a)
+	bk, bn := opGrid(tb, b)
+	if am != c.Rows() || bn != c.Cols() || ak != bk {
+		panic(fmt.Sprintf("core: gemm tile grids incompatible: op(A) %dx%d, op(B) %dx%d, C %dx%d",
+			am, ak, bk, bn, c.Rows(), c.Cols()))
+	}
+	if alpha == 0 {
+		c.EachTile(func(_, _ int, t *cache.Tile) { h.scalTask(beta, t, 0) })
+		return
+	}
+	for i := 0; i < c.Rows(); i++ {
+		for j := 0; j < c.Cols(); j++ {
+			ct := c.Tile(i, j)
+			for k := 0; k < ak; k++ {
+				bta := beta
+				if k > 0 {
+					bta = 1
+				}
+				h.gemmTask(ta, tb, alpha, opTile(ta, a, i, k), opTile(tb, b, k, j), bta, ct, 0)
+			}
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"xkblas/internal/matrix"
+)
+
+func TestPinAsyncChargesVirtualTime(t *testing.T) {
+	h := NewHandle(Config{TileSize: 1024})
+	m := h.Register(matrix.NewShape(8192, 8192))
+	t0 := h.Now()
+	h.PinAsync(m)
+	end := h.Sync()
+	// 8192²·8 bytes at the 5 GB/s pin rate ≈ 0.107 s.
+	want := float64(m.View.Bytes()) / 5e9
+	got := float64(end - t0)
+	if got < want*0.99 || got > want*1.01 {
+		t.Fatalf("pin time %.4fs, want ≈%.4fs", got, want)
+	}
+}
+
+func TestPinAsyncSerializes(t *testing.T) {
+	// Two registrations go through the single driver pinning stream.
+	h := NewHandle(Config{TileSize: 1024})
+	a := h.Register(matrix.NewShape(8192, 8192))
+	b := h.Register(matrix.NewShape(8192, 8192))
+	t0 := h.Now()
+	h.PinAsync(a)
+	h.PinAsync(b)
+	end := h.Sync()
+	want := 2 * float64(a.View.Bytes()) / 5e9
+	got := float64(end - t0)
+	if got < want*0.99 {
+		t.Fatalf("pins should serialize: %.4fs, want ≈%.4fs", got, want)
+	}
+}
+
+func TestBarrierWaitsForExternalPending(t *testing.T) {
+	h := NewHandle(Config{TileSize: 1024})
+	m := h.Register(matrix.NewShape(4096, 4096))
+	h.PinAsync(m)
+	if h.RT.Pending() == 0 {
+		t.Fatal("external operation not tracked as pending")
+	}
+	h.Sync()
+	if h.RT.Pending() != 0 {
+		t.Fatal("pending not drained by Sync")
+	}
+}

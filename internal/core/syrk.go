@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"xkblas/internal/cache"
+	"xkblas/internal/xkrt"
+)
+
+// SyrkAsync submits C = alpha·op(A)·op(A)ᵀ + beta·C on the uplo triangle of
+// C (PLASMA pdsyrk): the diagonal tiles use the SYRK tile kernel; the
+// off-diagonal tiles of the stored triangle are plain GEMMs between
+// distinct row (or column) panels of A.
+func (h *Handle) SyrkAsync(uplo Uplo, trans Trans, alpha float64, a *xkrt.Matrix, beta float64, c *xkrt.Matrix) {
+	requireSquareGrid("syrk", c)
+	nt := c.Rows()
+	arows, kt := opGrid(trans, a)
+	if arows != nt {
+		panic(fmt.Sprintf("core: syrk op(A) rows %d vs C %d", arows, nt))
+	}
+	if alpha == 0 {
+		h.scaleTriangle(uplo, beta, c)
+		return
+	}
+	for i := 0; i < nt; i++ {
+		for j := 0; j < nt; j++ {
+			if !onTriangle(uplo, i, j) {
+				continue
+			}
+			ct := c.Tile(i, j)
+			for k := 0; k < kt; k++ {
+				bta := beta
+				if k > 0 {
+					bta = 1
+				}
+				if i == j {
+					h.syrkTask(uplo, trans, alpha, opTile(trans, a, i, k), bta, ct, 0)
+					continue
+				}
+				// C[i,j] += alpha·op(A)[i,k]·op(A)[j,k]ᵀ.
+				if trans == NoTrans {
+					h.gemmTask(NoTrans, Transpose, alpha, a.Tile(i, k), a.Tile(j, k), bta, ct, 0)
+				} else {
+					h.gemmTask(Transpose, NoTrans, alpha, a.Tile(k, i), a.Tile(k, j), bta, ct, 0)
+				}
+			}
+		}
+	}
+}
+
+// Syr2kAsync submits C = alpha·(op(A)·op(B)ᵀ + op(B)·op(A)ᵀ) + beta·C on
+// the uplo triangle of C (PLASMA pdsyr2k). Off-diagonal stored tiles
+// receive two GEMM updates per k step.
+func (h *Handle) Syr2kAsync(uplo Uplo, trans Trans, alpha float64, a, b *xkrt.Matrix, beta float64, c *xkrt.Matrix) {
+	requireSquareGrid("syr2k", c)
+	nt := c.Rows()
+	arows, kt := opGrid(trans, a)
+	brows, bkt := opGrid(trans, b)
+	if arows != nt || brows != nt || kt != bkt {
+		panic(fmt.Sprintf("core: syr2k grids: op(A) %dx%d, op(B) %dx%d, C %d", arows, kt, brows, bkt, nt))
+	}
+	if alpha == 0 {
+		h.scaleTriangle(uplo, beta, c)
+		return
+	}
+	for i := 0; i < nt; i++ {
+		for j := 0; j < nt; j++ {
+			if !onTriangle(uplo, i, j) {
+				continue
+			}
+			ct := c.Tile(i, j)
+			for k := 0; k < kt; k++ {
+				bta := beta
+				if k > 0 {
+					bta = 1
+				}
+				if i == j {
+					h.syr2kTask(uplo, trans, alpha, opTile(trans, a, i, k), opTile(trans, b, i, k), bta, ct, 0)
+					continue
+				}
+				// C[i,j] += alpha·op(A)[i,k]·op(B)[j,k]ᵀ
+				//         + alpha·op(B)[i,k]·op(A)[j,k]ᵀ.
+				if trans == NoTrans {
+					h.gemmTask(NoTrans, Transpose, alpha, a.Tile(i, k), b.Tile(j, k), bta, ct, 0)
+					h.gemmTask(NoTrans, Transpose, alpha, b.Tile(i, k), a.Tile(j, k), 1, ct, 0)
+				} else {
+					h.gemmTask(Transpose, NoTrans, alpha, a.Tile(k, i), b.Tile(k, j), bta, ct, 0)
+					h.gemmTask(Transpose, NoTrans, alpha, b.Tile(k, i), a.Tile(k, j), 1, ct, 0)
+				}
+			}
+		}
+	}
+}
+
+// onTriangle reports whether tile (i,j) lies in the stored triangle.
+func onTriangle(uplo Uplo, i, j int) bool {
+	if uplo == Lower {
+		return i >= j
+	}
+	return i <= j
+}
+
+// scaleTriangle submits beta-scaling of the stored triangle of C: whole
+// tiles off the diagonal, triangle-only on diagonal tiles.
+func (h *Handle) scaleTriangle(uplo Uplo, beta float64, c *xkrt.Matrix) {
+	c.EachTile(func(i, j int, t *cache.Tile) {
+		switch {
+		case i == j:
+			h.scalTriTask(uplo, beta, t, 0)
+		case onTriangle(uplo, i, j):
+			h.scalTask(beta, t, 0)
+		}
+	})
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xkblas/internal/matrix"
+	"xkblas/internal/zblas"
+)
+
+func randZMat(rng *rand.Rand, m, n int) matrix.ZMat {
+	z := matrix.NewZ(m, n)
+	z.FillRandom(rng)
+	return z
+}
+
+func verifyZ(t *testing.T, got, want matrix.ZMat, label string) {
+	t.Helper()
+	if d := matrix.MaxAbsDiffZ(got, want); d > 1e-9 {
+		t.Errorf("%s: max diff %g", label, d)
+	}
+}
+
+func TestZgemmAsyncAllOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	m, n, k, nb := 21, 17, 25, 8
+	for _, ta := range []Trans{NoTrans, Transpose, ConjTrans} {
+		for _, tb := range []Trans{NoTrans, Transpose, ConjTrans} {
+			h := newFunctional(nb)
+			var az, bz matrix.ZMat
+			if ta == NoTrans {
+				az = randZMat(rng, m, k)
+			} else {
+				az = randZMat(rng, k, m)
+			}
+			if tb == NoTrans {
+				bz = randZMat(rng, k, n)
+			} else {
+				bz = randZMat(rng, n, k)
+			}
+			cz := randZMat(rng, m, n)
+			want := cz.Clone()
+			alpha, beta := complex(1.1, -0.4), complex(0.3, 0.8)
+			zblas.Gemm(ta, tb, alpha, az, bz, beta, want)
+			A, B, C := h.RegisterZ(az), h.RegisterZ(bz), h.RegisterZ(cz)
+			h.ZgemmAsync(ta, tb, alpha, A, B, beta, C)
+			h.MemoryCoherentAsync(C)
+			h.Sync()
+			verifyZ(t, cz, want, "zgemm("+ta.String()+tb.String()+")")
+		}
+	}
+}
+
+func TestZhemmAsyncAllVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m, n, nb := 19, 23, 8
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []Uplo{Lower, Upper} {
+			h := newFunctional(nb)
+			dim := pick(side == Left, m, n)
+			az := randZMat(rng, dim, dim)
+			bz := randZMat(rng, m, n)
+			cz := randZMat(rng, m, n)
+			want := cz.Clone()
+			alpha, beta := complex(0.9, 0.5), complex(-0.2, 1.0)
+			zblas.Hemm(side, uplo, alpha, az, bz, beta, want)
+			A, B, C := h.RegisterZ(az), h.RegisterZ(bz), h.RegisterZ(cz)
+			h.ZhemmAsync(side, uplo, alpha, A, B, beta, C)
+			h.MemoryCoherentAsync(C)
+			h.Sync()
+			verifyZ(t, cz, want, "zhemm("+side.String()+uplo.String()+")")
+		}
+	}
+}
+
+func TestZherkAsyncAllVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	n, k, nb := 21, 18, 8
+	for _, uplo := range []Uplo{Lower, Upper} {
+		for _, trans := range []Trans{NoTrans, ConjTrans} {
+			h := newFunctional(nb)
+			var az matrix.ZMat
+			if trans == NoTrans {
+				az = randZMat(rng, n, k)
+			} else {
+				az = randZMat(rng, k, n)
+			}
+			cz := randZMat(rng, n, n)
+			for i := 0; i < n; i++ { // Hermitian prior (real diagonal)
+				cz.Set(i, i, complex(real(cz.At(i, i)), 0))
+			}
+			want := cz.Clone()
+			alpha, beta := 0.8, 1.2
+			zblas.Herk(uplo, trans, alpha, az, beta, want)
+			A, C := h.RegisterZ(az), h.RegisterZ(cz)
+			h.ZherkAsync(uplo, trans, alpha, A, beta, C)
+			h.MemoryCoherentAsync(C)
+			h.Sync()
+			verifyZ(t, cz, want, "zherk("+uplo.String()+trans.String()+")")
+		}
+	}
+}
+
+func TestZher2kAsyncAllVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n, k, nb := 17, 22, 8
+	for _, uplo := range []Uplo{Lower, Upper} {
+		for _, trans := range []Trans{NoTrans, ConjTrans} {
+			h := newFunctional(nb)
+			var az, bz matrix.ZMat
+			if trans == NoTrans {
+				az, bz = randZMat(rng, n, k), randZMat(rng, n, k)
+			} else {
+				az, bz = randZMat(rng, k, n), randZMat(rng, k, n)
+			}
+			cz := randZMat(rng, n, n)
+			for i := 0; i < n; i++ {
+				cz.Set(i, i, complex(real(cz.At(i, i)), 0))
+			}
+			want := cz.Clone()
+			alpha := complex(0.6, -0.9)
+			beta := 0.7
+			zblas.Her2k(uplo, trans, alpha, az, bz, beta, want)
+			A, B, C := h.RegisterZ(az), h.RegisterZ(bz), h.RegisterZ(cz)
+			h.Zher2kAsync(uplo, trans, alpha, A, B, beta, C)
+			h.MemoryCoherentAsync(C)
+			h.Sync()
+			verifyZ(t, cz, want, "zher2k("+uplo.String()+trans.String()+")")
+		}
+	}
+}
+
+// A Hermitian composition: Y = A·Aᴴ (HERK) then Z = Y·X (HEMM through the
+// dependency graph) without intermediate synchronization.
+func TestComplexComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	n, nb := 16, 8
+	h := newFunctional(nb)
+	az := randZMat(rng, n, n)
+	yz := matrix.NewZ(n, n) // zeroed Hermitian accumulator
+	xz := randZMat(rng, n, n)
+	zz := matrix.NewZ(n, n)
+
+	wantY := yz.Clone()
+	zblas.Herk(Lower, NoTrans, 1, az, 0, wantY)
+	wantZ := zz.Clone()
+	zblas.Hemm(Left, Lower, 1, wantY, xz, 0, wantZ)
+
+	A, Y, X, Z := h.RegisterZ(az), h.RegisterZ(yz), h.RegisterZ(xz), h.RegisterZ(zz)
+	h.ZherkAsync(Lower, NoTrans, 1, A, 0, Y)
+	h.ZhemmAsync(Left, Lower, 1, Y, X, 0, Z)
+	h.MemoryCoherentAsync(Y)
+	h.MemoryCoherentAsync(Z)
+	h.Sync()
+	verifyZ(t, yz, wantY, "composition HERK stage")
+	verifyZ(t, zz, wantZ, "composition HEMM stage")
+}
+
+// Complex tiles must ride the same heuristics: run ZGEMM with all
+// configurations and check the chained-hop statistics appear.
+func TestComplexTilesUseHeuristics(t *testing.T) {
+	h := NewHandle(Config{TileSize: 256})
+	z := matrix.NewZShape(4096, 4096)
+	a, b, c := h.RegisterZ(z), h.RegisterZ(matrix.NewZShape(4096, 4096)), h.RegisterZ(matrix.NewZShape(4096, 4096))
+	h.ZgemmAsync(NoTrans, NoTrans, 1, a, b, 1, c)
+	h.Sync()
+	st := h.RT.Stats()
+	if st.ChainedHops == 0 {
+		t.Error("optimistic heuristic inactive on complex tiles")
+	}
+	cs := h.RT.Cache.Stats()
+	// Interleaved tiles are 2·nb·nb·8 bytes.
+	if cs.H2DBytes == 0 || cs.H2DBytes%int64(2*256*256*8) != 0 {
+		t.Errorf("unexpected H2D byte count %d", cs.H2DBytes)
+	}
+}

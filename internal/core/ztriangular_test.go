@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xkblas/internal/matrix"
+	"xkblas/internal/zblas"
+)
+
+func diagDominantZMat(rng *rand.Rand, n int) matrix.ZMat {
+	a := matrix.NewZ(n, n)
+	a.FillRandom(rng)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+complex(float64(n)+6, 0))
+	}
+	return a
+}
+
+func TestZtrmmAsyncAllVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	m, n, nb := 22, 18, 8
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []Uplo{Lower, Upper} {
+			for _, ta := range []Trans{NoTrans, Transpose, ConjTrans} {
+				for _, diag := range []Diag{NonUnit, Unit} {
+					h := newFunctional(nb)
+					dim := pick(side == Left, m, n)
+					az := randZMat(rng, dim, dim)
+					bz := randZMat(rng, m, n)
+					want := bz.Clone()
+					alpha := complex(1.1, -0.6)
+					zblas.Trmm(side, uplo, ta, diag, alpha, az, want)
+					A, B := h.RegisterZ(az), h.RegisterZ(bz)
+					h.ZtrmmAsync(side, uplo, ta, diag, alpha, A, B)
+					h.MemoryCoherentAsync(B)
+					h.Sync()
+					if d := matrix.MaxAbsDiffZ(bz, want); d > 1e-9 {
+						t.Errorf("ztrmm(%c%c%c%c): diff %g", side, uplo, ta, diag, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestZtrsmAsyncAllVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	m, n, nb := 22, 18, 8
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []Uplo{Lower, Upper} {
+			for _, ta := range []Trans{NoTrans, Transpose, ConjTrans} {
+				for _, diag := range []Diag{NonUnit, Unit} {
+					h := newFunctional(nb)
+					dim := pick(side == Left, m, n)
+					az := diagDominantZMat(rng, dim)
+					bz := randZMat(rng, m, n)
+					want := bz.Clone()
+					alpha := complex(0.9, 0.4)
+					zblas.Trsm(side, uplo, ta, diag, alpha, az, want)
+					A, B := h.RegisterZ(az), h.RegisterZ(bz)
+					h.ZtrsmAsync(side, uplo, ta, diag, alpha, A, B)
+					h.MemoryCoherentAsync(B)
+					h.Sync()
+					if d := matrix.MaxAbsDiffZ(bz, want); d > 1e-7 {
+						t.Errorf("ztrsm(%c%c%c%c): diff %g", side, uplo, ta, diag, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Complex composition: solve then multiply without intermediate sync, the
+// §IV-F pattern on the complex path.
+func TestComplexTriangularComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	n, nb := 16, 8
+	h := newFunctional(nb)
+	lz := diagDominantZMat(rng, n)
+	bz := randZMat(rng, n, n)
+	cz := randZMat(rng, n, n)
+	dz := matrix.NewZ(n, n)
+
+	wantB := bz.Clone()
+	zblas.Trsm(Left, Lower, NoTrans, NonUnit, 1, lz, wantB)
+	wantD := dz.Clone()
+	zblas.Gemm(NoTrans, NoTrans, 1, wantB, cz, 0, wantD)
+
+	L, B, C, D := h.RegisterZ(lz), h.RegisterZ(bz), h.RegisterZ(cz), h.RegisterZ(dz)
+	h.ZtrsmAsync(Left, Lower, NoTrans, NonUnit, 1, L, B)
+	h.ZgemmAsync(NoTrans, NoTrans, 1, B, C, 0, D)
+	h.MemoryCoherentAsync(B)
+	h.MemoryCoherentAsync(D)
+	h.Sync()
+	if d := matrix.MaxAbsDiffZ(bz, wantB); d > 1e-8 {
+		t.Errorf("composition ZTRSM stage diff %g", d)
+	}
+	if d := matrix.MaxAbsDiffZ(dz, wantD); d > 1e-7 {
+		t.Errorf("composition ZGEMM stage diff %g", d)
+	}
+}

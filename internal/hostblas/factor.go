@@ -1,0 +1,86 @@
+package hostblas
+
+import (
+	"fmt"
+	"math"
+
+	"xkblas/internal/matrix"
+)
+
+// Reference unblocked factorization kernels (the LAPACK *2 routines) used
+// as the diagonal-tile bodies of the tiled POTRF/GETRF algorithms and as
+// ground truth in tests.
+
+// Potf2 factorizes the symmetric positive-definite matrix a in place into
+// its Cholesky factor, storing L (uplo Lower, a = L·Lᵀ) or U (uplo Upper,
+// a = Uᵀ·U) in the stored triangle. The opposite triangle is left
+// untouched.
+func Potf2(uplo Uplo, a matrix.View) error {
+	n := a.N
+	if a.M != n {
+		return fmt.Errorf("hostblas: potf2 needs a square block, got %dx%d", a.M, n)
+	}
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			if uplo == Lower {
+				d -= a.At(j, k) * a.At(j, k)
+			} else {
+				d -= a.At(k, j) * a.At(k, j)
+			}
+		}
+		if d <= 0 {
+			return fmt.Errorf("hostblas: potf2 not positive definite at column %d", j)
+		}
+		d = math.Sqrt(d)
+		a.Set(j, j, d)
+		if uplo == Lower {
+			for i := j + 1; i < n; i++ {
+				s := a.At(i, j)
+				for k := 0; k < j; k++ {
+					s -= a.At(i, k) * a.At(j, k)
+				}
+				a.Set(i, j, s/d)
+			}
+		} else {
+			for i := j + 1; i < n; i++ {
+				s := a.At(j, i)
+				for k := 0; k < j; k++ {
+					s -= a.At(k, j) * a.At(k, i)
+				}
+				a.Set(j, i, s/d)
+			}
+		}
+	}
+	return nil
+}
+
+// Getf2 factorizes a in place into L\U without pivoting (unit lower L
+// below the diagonal, U on and above). The caller is responsible for
+// supplying a matrix for which pivot-free elimination is stable
+// (e.g. diagonally dominant).
+func Getf2(a matrix.View) error {
+	n := a.N
+	if a.M != n {
+		return fmt.Errorf("hostblas: getf2 needs a square block, got %dx%d", a.M, n)
+	}
+	for k := 0; k < n; k++ {
+		piv := a.At(k, k)
+		if piv == 0 {
+			return fmt.Errorf("hostblas: getf2 zero pivot at %d", k)
+		}
+		for i := k + 1; i < n; i++ {
+			a.Set(i, k, a.At(i, k)/piv)
+		}
+		for j := k + 1; j < n; j++ {
+			akj := a.At(k, j)
+			if akj == 0 {
+				continue
+			}
+			for i := k + 1; i < n; i++ {
+				a.Add(i, j, -a.At(i, k)*akj)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package hostblas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xkblas/internal/matrix"
+)
+
+func spd(rng *rand.Rand, n int) matrix.View {
+	m := matrix.New(n, n)
+	m.FillRandom(rng)
+	a := matrix.New(n, n)
+	Gemm(NoTrans, Transpose, 1, m, m, 0, a)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	return a
+}
+
+func TestPotf2BothTriangles(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, uplo := range []Uplo{Lower, Upper} {
+		n := 12
+		a := spd(rng, n)
+		orig := a.Clone()
+		if err := Potf2(uplo, a); err != nil {
+			t.Fatal(err)
+		}
+		// Reconstruct and compare.
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				in := (uplo == Lower && i >= j) || (uplo == Upper && i <= j)
+				if !in {
+					// Opposite triangle untouched.
+					if a.At(i, j) != orig.At(i, j) {
+						t.Fatalf("potf2(%c) modified opposite triangle at (%d,%d)", uplo, i, j)
+					}
+					continue
+				}
+				s := 0.0
+				for k := 0; k < n; k++ {
+					var l, r float64
+					if uplo == Lower {
+						if k <= i {
+							l = a.At(i, k)
+						}
+						if k <= j {
+							r = a.At(j, k)
+						}
+					} else {
+						if k <= i {
+							l = a.At(k, i)
+						}
+						if k <= j {
+							r = a.At(k, j)
+						}
+					}
+					s += l * r
+				}
+				if math.Abs(s-orig.At(i, j)) > 1e-9 {
+					t.Fatalf("potf2(%c) residual at (%d,%d): %g", uplo, i, j, s-orig.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestPotf2RejectsIndefinite(t *testing.T) {
+	a := matrix.New(4, 4) // zero matrix
+	if err := Potf2(Lower, a); err == nil {
+		t.Fatal("expected error for indefinite matrix")
+	}
+	if err := Potf2(Lower, matrix.New(3, 4)); err == nil {
+		t.Fatal("expected error for non-square block")
+	}
+}
+
+func TestGetf2ReconstructsLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 10
+	a := matrix.New(n, n)
+	a.FillIdentityPlus(float64(n)+4, rng)
+	orig := a.Clone()
+	if err := Getf2(a); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				var l, u float64
+				switch {
+				case k < i:
+					l = a.At(i, k)
+				case k == i:
+					l = 1
+				}
+				if k <= j {
+					u = a.At(k, j)
+				}
+				s += l * u
+			}
+			if math.Abs(s-orig.At(i, j)) > 1e-9 {
+				t.Fatalf("getf2 residual at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestGetf2RejectsZeroPivot(t *testing.T) {
+	a := matrix.New(3, 3) // all zeros → zero pivot at k=0
+	if err := Getf2(a); err == nil {
+		t.Fatal("expected zero-pivot error")
+	}
+}
+
+// Property: for random SPD matrices, Potf2's factor solves systems — TRSM
+// round-trips through the factor reproduce A·x.
+func TestPotf2SolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8) + 2
+		a := spd(rng, n)
+		orig := a.Clone()
+		if err := Potf2(Lower, a); err != nil {
+			return false
+		}
+		b := matrix.New(n, 1)
+		b.FillRandom(rng)
+		borig := b.Clone()
+		Trsm(Left, Lower, NoTrans, NonUnit, 1, a, b)
+		Trsm(Left, Lower, Transpose, NonUnit, 1, a, b)
+		// Check A·x ≈ b.
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += orig.At(i, k) * b.At(k, 0)
+			}
+			if math.Abs(s-borig.At(i, 0)) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

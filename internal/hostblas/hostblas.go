@@ -1,0 +1,410 @@
+// Package hostblas is a straightforward, well-tested reference
+// implementation of the six FP64 level-3 BLAS subroutines on column-major
+// views. It plays two roles in the reproduction:
+//
+//   - ground truth: every tiled multi-GPU algorithm is checked against it in
+//     functional mode;
+//   - kernel body: in functional mode, simulated GPU kernels execute these
+//     routines on the tile operands while the simulator charges modelled
+//     V100 time.
+//
+// Full flag coverage (trans/side/uplo/diag) is implemented with the netlib
+// semantics. Clarity is preferred over speed: operands in tests are small.
+package hostblas
+
+import (
+	"fmt"
+
+	"xkblas/internal/blasops"
+	"xkblas/internal/matrix"
+)
+
+type (
+	// Trans etc. are re-exported aliases so kernel code reads naturally.
+	Trans = blasops.Trans
+	Side  = blasops.Side
+	Uplo  = blasops.Uplo
+	Diag  = blasops.Diag
+)
+
+// Flag constants re-exported from blasops.
+const (
+	NoTrans   = blasops.NoTrans
+	Transpose = blasops.Transpose
+	Left      = blasops.Left
+	Right     = blasops.Right
+	Lower     = blasops.Lower
+	Upper     = blasops.Upper
+	NonUnit   = blasops.NonUnit
+	Unit      = blasops.Unit
+)
+
+// opAt reads element (i,j) of op(A).
+func opAt(t Trans, a matrix.View, i, j int) float64 {
+	if t == NoTrans {
+		return a.At(i, j)
+	}
+	return a.At(j, i)
+}
+
+// symAt reads element (i,j) of a symmetric matrix stored in one triangle.
+func symAt(uplo Uplo, a matrix.View, i, j int) float64 {
+	if uplo == Lower {
+		if i >= j {
+			return a.At(i, j)
+		}
+		return a.At(j, i)
+	}
+	if i <= j {
+		return a.At(i, j)
+	}
+	return a.At(j, i)
+}
+
+// triOpAt reads element (i,j) of op(A) where A is triangular with the given
+// stored triangle and diagonal convention; elements outside the triangle of
+// op(A) read as zero.
+func triOpAt(uplo Uplo, ta Trans, diag Diag, a matrix.View, i, j int) float64 {
+	ii, jj := i, j
+	if ta == Transpose {
+		ii, jj = j, i
+	}
+	if ii == jj {
+		if diag == Unit {
+			return 1
+		}
+		return a.At(ii, ii)
+	}
+	if uplo == Lower {
+		if ii > jj {
+			return a.At(ii, jj)
+		}
+		return 0
+	}
+	if ii < jj {
+		return a.At(ii, jj)
+	}
+	return 0
+}
+
+func scale(beta float64, c matrix.View) {
+	switch beta {
+	case 1:
+		return
+	case 0:
+		for j := 0; j < c.N; j++ {
+			for i := 0; i < c.M; i++ {
+				c.Set(i, j, 0)
+			}
+		}
+	default:
+		for j := 0; j < c.N; j++ {
+			for i := 0; i < c.M; i++ {
+				c.Set(i, j, beta*c.At(i, j))
+			}
+		}
+	}
+}
+
+// Gemm computes C = alpha·op(A)·op(B) + beta·C, with C m×n, op(A) m×k and
+// op(B) k×n.
+func Gemm(ta, tb Trans, alpha float64, a, b matrix.View, beta float64, c matrix.View) {
+	m, n := c.M, c.N
+	var k int
+	if ta == NoTrans {
+		if a.M != m {
+			panic(fmt.Sprintf("hostblas: gemm A rows %d != C rows %d", a.M, m))
+		}
+		k = a.N
+	} else {
+		if a.N != m {
+			panic(fmt.Sprintf("hostblas: gemm Aᵀ rows %d != C rows %d", a.N, m))
+		}
+		k = a.M
+	}
+	if tb == NoTrans {
+		if b.M != k || b.N != n {
+			panic(fmt.Sprintf("hostblas: gemm B %dx%d incompatible with k=%d n=%d", b.M, b.N, k, n))
+		}
+	} else if b.N != k || b.M != n {
+		panic(fmt.Sprintf("hostblas: gemm Bᵀ %dx%d incompatible with k=%d n=%d", b.M, b.N, k, n))
+	}
+	scale(beta, c)
+	if alpha == 0 {
+		return
+	}
+	for j := 0; j < n; j++ {
+		for l := 0; l < k; l++ {
+			blj := alpha * opAt(tb, b, l, j)
+			if blj == 0 {
+				continue
+			}
+			for i := 0; i < m; i++ {
+				c.Add(i, j, opAt(ta, a, i, l)*blj)
+			}
+		}
+	}
+}
+
+// Symm computes C = alpha·A·B + beta·C (side Left, A symmetric m×m) or
+// C = alpha·B·A + beta·C (side Right, A symmetric n×n).
+func Symm(side Side, uplo Uplo, alpha float64, a, b matrix.View, beta float64, c matrix.View) {
+	m, n := c.M, c.N
+	if b.M != m || b.N != n {
+		panic("hostblas: symm B shape mismatch")
+	}
+	if side == Left && (a.M != m || a.N != m) {
+		panic("hostblas: symm left A must be m×m")
+	}
+	if side == Right && (a.M != n || a.N != n) {
+		panic("hostblas: symm right A must be n×n")
+	}
+	scale(beta, c)
+	if alpha == 0 {
+		return
+	}
+	if side == Left {
+		for j := 0; j < n; j++ {
+			for l := 0; l < m; l++ {
+				blj := alpha * b.At(l, j)
+				if blj == 0 {
+					continue
+				}
+				for i := 0; i < m; i++ {
+					c.Add(i, j, symAt(uplo, a, i, l)*blj)
+				}
+			}
+		}
+		return
+	}
+	for j := 0; j < n; j++ {
+		for l := 0; l < n; l++ {
+			alj := alpha * symAt(uplo, a, l, j)
+			if alj == 0 {
+				continue
+			}
+			for i := 0; i < m; i++ {
+				c.Add(i, j, b.At(i, l)*alj)
+			}
+		}
+	}
+}
+
+// Syrk computes the triangle-updating rank-k operation
+// C = alpha·op(A)·op(A)ᵀ + beta·C where only the uplo triangle of the n×n C
+// is referenced; op(A) is n×k.
+func Syrk(uplo Uplo, trans Trans, alpha float64, a matrix.View, beta float64, c matrix.View) {
+	n := c.N
+	if c.M != n {
+		panic("hostblas: syrk C must be square")
+	}
+	var k int
+	if trans == NoTrans {
+		if a.M != n {
+			panic("hostblas: syrk A rows mismatch")
+		}
+		k = a.N
+	} else {
+		if a.N != n {
+			panic("hostblas: syrk Aᵀ rows mismatch")
+		}
+		k = a.M
+	}
+	for j := 0; j < n; j++ {
+		lo, hi := triRange(uplo, j, n)
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			for l := 0; l < k; l++ {
+				s += opAt(trans, a, i, l) * opAt(trans, a, j, l)
+			}
+			c.Set(i, j, alpha*s+beta*c.At(i, j))
+		}
+	}
+}
+
+// Syr2k computes C = alpha·(op(A)·op(B)ᵀ + op(B)·op(A)ᵀ) + beta·C on the
+// uplo triangle of the n×n C; op(A), op(B) are n×k.
+func Syr2k(uplo Uplo, trans Trans, alpha float64, a, b matrix.View, beta float64, c matrix.View) {
+	n := c.N
+	if c.M != n {
+		panic("hostblas: syr2k C must be square")
+	}
+	var k int
+	if trans == NoTrans {
+		if a.M != n || b.M != n {
+			panic("hostblas: syr2k A/B rows mismatch")
+		}
+		if a.N != b.N {
+			panic("hostblas: syr2k A/B k mismatch")
+		}
+		k = a.N
+	} else {
+		if a.N != n || b.N != n {
+			panic("hostblas: syr2k Aᵀ/Bᵀ rows mismatch")
+		}
+		if a.M != b.M {
+			panic("hostblas: syr2k A/B k mismatch")
+		}
+		k = a.M
+	}
+	for j := 0; j < n; j++ {
+		lo, hi := triRange(uplo, j, n)
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			for l := 0; l < k; l++ {
+				s += opAt(trans, a, i, l)*opAt(trans, b, j, l) +
+					opAt(trans, b, i, l)*opAt(trans, a, j, l)
+			}
+			c.Set(i, j, alpha*s+beta*c.At(i, j))
+		}
+	}
+}
+
+// triRange reports the [lo,hi) row range of stored elements in column j of
+// an n×n triangle.
+func triRange(uplo Uplo, j, n int) (lo, hi int) {
+	if uplo == Lower {
+		return j, n
+	}
+	return 0, j + 1
+}
+
+// Trmm computes B = alpha·op(A)·B (side Left, A triangular m×m) or
+// B = alpha·B·op(A) (side Right, A triangular n×n), in place in B.
+func Trmm(side Side, uplo Uplo, ta Trans, diag Diag, alpha float64, a, b matrix.View) {
+	m, n := b.M, b.N
+	checkTriangular(side, a, m, n, "trmm")
+	if side == Left {
+		col := make([]float64, m)
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				col[i] = b.At(i, j)
+			}
+			for i := 0; i < m; i++ {
+				s := 0.0
+				for l := 0; l < m; l++ {
+					if v := triOpAt(uplo, ta, diag, a, i, l); v != 0 {
+						s += v * col[l]
+					}
+				}
+				b.Set(i, j, alpha*s)
+			}
+		}
+		return
+	}
+	row := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			row[j] = b.At(i, j)
+		}
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for l := 0; l < n; l++ {
+				if v := triOpAt(uplo, ta, diag, a, l, j); v != 0 {
+					s += row[l] * v
+				}
+			}
+			b.Set(i, j, alpha*s)
+		}
+	}
+}
+
+// Trsm solves op(A)·X = alpha·B (side Left) or X·op(A) = alpha·B (side
+// Right) for X, overwriting B with X. A is triangular (m×m for Left, n×n
+// for Right).
+func Trsm(side Side, uplo Uplo, ta Trans, diag Diag, alpha float64, a, b matrix.View) {
+	m, n := b.M, b.N
+	checkTriangular(side, a, m, n, "trsm")
+	if side == Left {
+		// op(A) is effectively lower iff storage triangle and transpose
+		// agree.
+		lowerEff := (uplo == Lower) == (ta == NoTrans)
+		for j := 0; j < n; j++ {
+			if lowerEff {
+				for i := 0; i < m; i++ {
+					s := alpha * b.At(i, j)
+					for l := 0; l < i; l++ {
+						s -= triOpAt(uplo, ta, diag, a, i, l) * b.At(l, j)
+					}
+					b.Set(i, j, s/triOpAt(uplo, ta, diag, a, i, i))
+				}
+			} else {
+				for i := m - 1; i >= 0; i-- {
+					s := alpha * b.At(i, j)
+					for l := i + 1; l < m; l++ {
+						s -= triOpAt(uplo, ta, diag, a, i, l) * b.At(l, j)
+					}
+					b.Set(i, j, s/triOpAt(uplo, ta, diag, a, i, i))
+				}
+			}
+		}
+		return
+	}
+	// Side Right: row i of X satisfies Σ_l X[i,l]·op(A)[l,j] = alpha·B[i,j].
+	lowerEff := (uplo == Lower) == (ta == NoTrans)
+	for i := 0; i < m; i++ {
+		if lowerEff {
+			// op(A) lower: column j depends on X[i,l] for l ≥ j → solve
+			// decreasing j.
+			for j := n - 1; j >= 0; j-- {
+				s := alpha * b.At(i, j)
+				for l := j + 1; l < n; l++ {
+					s -= b.At(i, l) * triOpAt(uplo, ta, diag, a, l, j)
+				}
+				b.Set(i, j, s/triOpAt(uplo, ta, diag, a, j, j))
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				s := alpha * b.At(i, j)
+				for l := 0; l < j; l++ {
+					s -= b.At(i, l) * triOpAt(uplo, ta, diag, a, l, j)
+				}
+				b.Set(i, j, s/triOpAt(uplo, ta, diag, a, j, j))
+			}
+		}
+	}
+}
+
+func checkTriangular(side Side, a matrix.View, m, n int, op string) {
+	if side == Left {
+		if a.M != m || a.N != m {
+			panic(fmt.Sprintf("hostblas: %s left A must be %dx%d, got %dx%d", op, m, m, a.M, a.N))
+		}
+		return
+	}
+	if a.M != n || a.N != n {
+		panic(fmt.Sprintf("hostblas: %s right A must be %dx%d, got %dx%d", op, n, n, a.M, a.N))
+	}
+}
+
+// Scal scales every element of the view by beta (the degenerate alpha = 0
+// paths of the level-3 routines reduce to this).
+func Scal(beta float64, v matrix.View) { scale(beta, v) }
+
+// LacpyTri copies the uplo triangle (with diagonal) of src into dst,
+// zero-filling the opposite triangle of dst. It is used by tests to compare
+// triangle-updating routines.
+func LacpyTri(uplo Uplo, src, dst matrix.View) {
+	n := src.N
+	for j := 0; j < n; j++ {
+		for i := 0; i < src.M; i++ {
+			in := (uplo == Lower && i >= j) || (uplo == Upper && i <= j)
+			if in {
+				dst.Set(i, j, src.At(i, j))
+			} else {
+				dst.Set(i, j, 0)
+			}
+		}
+	}
+}
+
+// SymmetrizeFrom builds the full symmetric matrix implied by the uplo
+// triangle of src into dst.
+func SymmetrizeFrom(uplo Uplo, src, dst matrix.View) {
+	n := src.N
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			dst.Set(i, j, symAt(uplo, src, i, j))
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package matrix
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZMatInterleavedLayout(t *testing.T) {
+	z := NewZ(3, 2)
+	z.Set(2, 1, complex(5, -7))
+	if z.V.At(4, 1) != 5 || z.V.At(5, 1) != -7 {
+		t.Fatal("re/im not interleaved column-major")
+	}
+	if z.At(2, 1) != complex(5, -7) {
+		t.Fatal("roundtrip broken")
+	}
+	z.Add(2, 1, complex(1, 1))
+	if z.At(2, 1) != complex(6, -6) {
+		t.Fatal("Add broken")
+	}
+}
+
+func TestZMatSubCloneCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewZ(6, 6)
+	z.FillRandom(rng)
+	s := z.Sub(1, 2, 3, 3)
+	if s.M != 3 || s.N != 3 {
+		t.Fatalf("sub dims %dx%d", s.M, s.N)
+	}
+	if s.At(0, 0) != z.At(1, 2) {
+		t.Fatal("sub offset wrong")
+	}
+	s.Set(0, 0, complex(9, 9))
+	if z.At(1, 2) != complex(9, 9) {
+		t.Fatal("sub must alias parent")
+	}
+	c := z.Clone()
+	c.Set(0, 0, 42)
+	if z.At(0, 0) == 42 {
+		t.Fatal("clone aliases parent")
+	}
+	w := NewZ(6, 6)
+	w.CopyFrom(z)
+	if MaxAbsDiffZ(w, z) != 0 {
+		t.Fatal("CopyFrom differs")
+	}
+}
+
+func TestZFromViewValidation(t *testing.T) {
+	if ZFromView(New(4, 3)).M != 2 {
+		t.Fatal("logical rows wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd-row view must panic")
+		}
+	}()
+	ZFromView(New(3, 3))
+}
+
+func TestZComplexSliceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, n, ld := 4, 5, 6
+	data := make([]complex128, ld*n)
+	for i := range data {
+		data[i] = complex(rng.Float64(), rng.Float64())
+	}
+	z := ZFromComplexSlice(data, m, n, ld)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			if z.At(i, j) != data[j*ld+i] {
+				t.Fatalf("copy-in wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+	out := make([]complex128, ld*n)
+	z.CopyToComplexSlice(out, ld)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			if out[j*ld+i] != data[j*ld+i] {
+				t.Fatalf("copy-out wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestZComplexSliceValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short slice must panic")
+		}
+	}()
+	ZFromComplexSlice(make([]complex128, 3), 2, 3, 2)
+}
+
+func TestMaxAbsDiffZ(t *testing.T) {
+	a, b := NewZ(2, 2), NewZ(2, 2)
+	b.Set(1, 1, complex(3, 4))
+	if d := MaxAbsDiffZ(a, b); d != 5 {
+		t.Fatalf("diff = %g, want 5 (|3+4i|)", d)
+	}
+}
+
+func TestRectTilingCoversInterleavedComplex(t *testing.T) {
+	// A 10x10 complex matrix: 20x10 floats tiled 8x4 (= 4x4 complex).
+	til := NewRectTiling(20, 10, 8, 4)
+	if til.Rows() != 3 || til.Cols() != 3 {
+		t.Fatalf("grid %dx%d", til.Rows(), til.Cols())
+	}
+	m, n := til.TileDims(2, 2)
+	if m != 4 || n != 2 {
+		t.Fatalf("edge tile %dx%d, want 4x2", m, n)
+	}
+	v := New(20, 10)
+	tv := til.TileView(v, 1, 1)
+	tv.Set(0, 0, 3)
+	if v.At(8, 4) != 3 {
+		t.Fatal("tile view offset wrong")
+	}
+}
+
+// Property: RectTiling partitions the matrix exactly (no gaps, no overlap).
+func TestRectTilingPartitionProperty(t *testing.T) {
+	f := func(mRaw, nRaw, mbRaw, nbRaw uint8) bool {
+		m, n := int(mRaw%40)+1, int(nRaw%40)+1
+		mb, nb := int(mbRaw%12)+1, int(nbRaw%12)+1
+		til := NewRectTiling(m, n, mb, nb)
+		covered := make([]int, m*n)
+		for i := 0; i < til.Rows(); i++ {
+			for j := 0; j < til.Cols(); j++ {
+				tm, tn := til.TileDims(i, j)
+				for jj := 0; jj < tn; jj++ {
+					for ii := 0; ii < tm; ii++ {
+						covered[(j*nb+jj)*m+i*mb+ii]++
+					}
+				}
+			}
+		}
+		for _, c := range covered {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFillHermitianPlusProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z := NewZ(7, 7)
+	z.FillHermitianPlus(9, rng)
+	for j := 0; j < 7; j++ {
+		for i := 0; i < 7; i++ {
+			if cmplx.Abs(z.At(i, j)-cmplx.Conj(z.At(j, i))) != 0 {
+				t.Fatal("not Hermitian")
+			}
+		}
+		if imag(z.At(j, j)) != 0 || real(z.At(j, j)) < 8 {
+			t.Fatal("diagonal not real-shifted")
+		}
+	}
+}

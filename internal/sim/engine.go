@@ -1,0 +1,152 @@
+// Package sim provides a deterministic discrete-event simulation engine used
+// to model a multi-GPU platform in virtual time.
+//
+// The engine owns a virtual clock and a priority queue of events. Events
+// scheduled for the same instant fire in submission order, which makes every
+// simulation reproducible bit-for-bit: the platform model, the runtime
+// schedulers and the benchmark harness all rely on this property.
+//
+// The engine is intentionally single-threaded: handlers run one at a time on
+// the caller's goroutine during Run. Concurrency of the modelled hardware
+// (copy engines, links, kernel streams) is expressed with Server resources,
+// not with goroutines.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since the start of the
+// simulation.
+type Time float64
+
+// Infinity is a time later than any event the engine will ever fire.
+const Infinity = Time(math.MaxFloat64)
+
+// Duration helpers.
+
+// Seconds converts a float64 number of seconds to a Time delta.
+func Seconds(s float64) Time { return Time(s) }
+
+// Microseconds converts microseconds to a Time delta.
+func Microseconds(us float64) Time { return Time(us * 1e-6) }
+
+// event is a single scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break: submission order
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// engines with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	fired   uint64
+	running bool
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have been executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are waiting to fire.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds of virtual time from now. Negative
+// delays panic.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Run fires events in order until none remain, then returns the final clock
+// value. Handlers may schedule more events.
+func (e *Engine) Run() Time {
+	return e.RunUntil(Infinity)
+}
+
+// RunUntil fires events in order until the queue is empty or the next event
+// is later than deadline. The clock never exceeds deadline.
+func (e *Engine) RunUntil(deadline Time) Time {
+	if e.running {
+		panic("sim: Run called re-entrantly from an event handler")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.events.Len() > 0 {
+		next := e.events[0]
+		if next.at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		e.fired++
+		next.fn()
+	}
+	return e.now
+}
+
+// RunWhile fires events while cond() remains true and events remain. It is
+// the engine-level building block for "run until this operation completes"
+// style synchronisation used by the runtimes built on top of the simulator.
+func (e *Engine) RunWhile(cond func() bool) Time {
+	if e.running {
+		panic("sim: Run called re-entrantly from an event handler")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for cond() && e.events.Len() > 0 {
+		next := heap.Pop(&e.events).(*event)
+		e.now = next.at
+		e.fired++
+		next.fn()
+	}
+	return e.now
+}

@@ -1,0 +1,165 @@
+package sim
+
+import "fmt"
+
+// FairServer models a resource whose capacity is shared equally among all
+// in-flight jobs (processor sharing) — how a full-duplex link multiplexes
+// concurrent DMA transfers, as opposed to the FIFO serialization of
+// Server. With k jobs active, each progresses at rate/k.
+//
+// Both models yield identical aggregate throughput; they differ in
+// completion-time distribution (FIFO finishes jobs one by one, fair
+// sharing finishes similar jobs together). The platform uses FIFO by
+// default — it matches the paper's measured per-transfer bandwidths more
+// closely — and the BenchmarkAblationLinkModel bench shows the headline
+// results are robust to either choice.
+type FairServer struct {
+	eng  *Engine
+	name string
+	rate float64
+
+	jobs      map[*fairJob]struct{}
+	lastUpd   Time
+	wakeToken uint64
+
+	// Statistics.
+	done     uint64
+	busyTime Time
+}
+
+type fairJob struct {
+	remaining float64 // units left
+	startAt   Time
+	done      func(start, end Time)
+}
+
+// NewFairServer creates a processor-sharing server with the given rate in
+// units per second.
+func NewFairServer(eng *Engine, name string, rate float64) *FairServer {
+	if rate <= 0 {
+		panic(fmt.Sprintf("sim: fair server %q needs positive rate, got %g", name, rate))
+	}
+	return &FairServer{
+		eng:  eng,
+		name: name,
+		rate: rate,
+		jobs: make(map[*fairJob]struct{}),
+	}
+}
+
+// Name reports the server's diagnostic name.
+func (s *FairServer) Name() string { return s.name }
+
+// Rate reports the total service rate.
+func (s *FairServer) Rate() float64 { return s.rate }
+
+// Submit adds a job of the given size; done (may be nil) fires when the
+// job's share of the capacity has delivered all its units.
+func (s *FairServer) Submit(size float64, overhead Time, done func(start, end Time)) {
+	if size < 0 {
+		panic(fmt.Sprintf("sim: negative job size %g on %q", size, s.name))
+	}
+	s.advance()
+	j := &fairJob{
+		remaining: size + float64(overhead)*s.rate, // fold overhead into units
+		startAt:   s.eng.Now(),
+		done:      done,
+	}
+	s.jobs[j] = struct{}{}
+	s.reschedule()
+}
+
+// finishEps reports the residual-work threshold below which a job is
+// considered complete: one picosecond of service. The threshold must be
+// relative to the rate — with byte rates around 1e10, an absolute epsilon
+// can leave a sliver of work whose completion ETA rounds below the virtual
+// clock's float64 ulp, which would wedge the wake-up loop at one instant.
+func (s *FairServer) finishEps() float64 { return s.rate * 1e-12 }
+
+// advance progresses every in-flight job to the current instant and
+// completes every job whose residual is below the finish threshold (even
+// when no time has passed: completion must not depend on the clock being
+// able to represent a sub-ulp step).
+func (s *FairServer) advance() {
+	now := s.eng.Now()
+	dt := now - s.lastUpd
+	s.lastUpd = now
+	if len(s.jobs) == 0 {
+		return
+	}
+	if dt > 0 {
+		s.busyTime += dt
+		share := float64(dt) * s.rate / float64(len(s.jobs))
+		for j := range s.jobs {
+			j.remaining -= share
+		}
+	}
+	var finished []*fairJob
+	for j := range s.jobs {
+		if j.remaining <= s.finishEps() {
+			finished = append(finished, j)
+		}
+	}
+	// Deterministic completion order: by start time, then by remaining.
+	sortJobs(finished)
+	for _, j := range finished {
+		delete(s.jobs, j)
+		s.done++
+		if j.done != nil {
+			j.done(j.startAt, now)
+		}
+	}
+}
+
+func sortJobs(js []*fairJob) {
+	for i := 1; i < len(js); i++ {
+		for k := i; k > 0 && less(js[k], js[k-1]); k-- {
+			js[k], js[k-1] = js[k-1], js[k]
+		}
+	}
+}
+
+func less(a, b *fairJob) bool {
+	if a.startAt != b.startAt {
+		return a.startAt < b.startAt
+	}
+	return a.remaining < b.remaining
+}
+
+// reschedule arms a wake-up at the next completion instant.
+func (s *FairServer) reschedule() {
+	if len(s.jobs) == 0 {
+		return
+	}
+	minRemaining := -1.0
+	for j := range s.jobs {
+		if minRemaining < 0 || j.remaining < minRemaining {
+			minRemaining = j.remaining
+		}
+	}
+	eta := Time(minRemaining * float64(len(s.jobs)) / s.rate)
+	s.wakeToken++
+	token := s.wakeToken
+	s.eng.After(eta, func() {
+		if token != s.wakeToken {
+			return // superseded by a newer schedule
+		}
+		s.advance()
+		s.reschedule()
+	})
+}
+
+// ServiceTime reports the unloaded duration of a job (Resource).
+func (s *FairServer) ServiceTime(size float64, overhead Time) Time {
+	return overhead + Time(size/s.rate)
+}
+
+// AvailableAt reports when a new job could start service: immediately,
+// since processor sharing always admits (Resource).
+func (s *FairServer) AvailableAt() Time { return s.eng.Now() }
+
+// Stats reports completed jobs and accumulated busy time.
+func (s *FairServer) Stats() (jobs uint64, busy Time) { return s.done, s.busyTime }
+
+// Active reports the number of in-flight jobs.
+func (s *FairServer) Active() int { return len(s.jobs) }

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFairServerSingleJob(t *testing.T) {
+	e := NewEngine()
+	s := NewFairServer(e, "ps", 100)
+	var end Time
+	s.Submit(200, 0, func(_, en Time) { end = en })
+	e.Run()
+	if math.Abs(float64(end-2)) > 1e-9 {
+		t.Fatalf("single job end = %v, want 2", end)
+	}
+}
+
+func TestFairServerEqualShare(t *testing.T) {
+	// Two equal jobs submitted together share the capacity and finish at
+	// the same instant, at twice the solo duration.
+	e := NewEngine()
+	s := NewFairServer(e, "ps", 100)
+	var e1, e2 Time
+	s.Submit(100, 0, func(_, en Time) { e1 = en })
+	s.Submit(100, 0, func(_, en Time) { e2 = en })
+	e.Run()
+	if math.Abs(float64(e1-2)) > 1e-9 || math.Abs(float64(e2-2)) > 1e-9 {
+		t.Fatalf("ends = %v, %v, want 2, 2 (fair sharing)", e1, e2)
+	}
+}
+
+func TestFairServerLateArrival(t *testing.T) {
+	// Job A (100 units) starts alone; at t=0.5 job B (50 units) joins.
+	// A: 50 units alone (0.5s), then shares: both need 50 units at 50/s
+	// each → 1s more. Both end at 1.5.
+	e := NewEngine()
+	s := NewFairServer(e, "ps", 100)
+	var ea, eb Time
+	s.Submit(100, 0, func(_, en Time) { ea = en })
+	e.At(0.5, func() {
+		s.Submit(50, 0, func(_, en Time) { eb = en })
+	})
+	e.Run()
+	if math.Abs(float64(ea-1.5)) > 1e-6 || math.Abs(float64(eb-1.5)) > 1e-6 {
+		t.Fatalf("ends = %v, %v, want 1.5, 1.5", ea, eb)
+	}
+}
+
+func TestFairServerUnequalJobs(t *testing.T) {
+	// Jobs of 100 and 300 units at rate 100: shared until the small one
+	// finishes at t=2 (each got 100), then the big one runs alone for its
+	// remaining 200 → ends at 4.
+	e := NewEngine()
+	s := NewFairServer(e, "ps", 100)
+	var small, big Time
+	s.Submit(100, 0, func(_, en Time) { small = en })
+	s.Submit(300, 0, func(_, en Time) { big = en })
+	e.Run()
+	if math.Abs(float64(small-2)) > 1e-6 {
+		t.Fatalf("small end = %v, want 2", small)
+	}
+	if math.Abs(float64(big-4)) > 1e-6 {
+		t.Fatalf("big end = %v, want 4", big)
+	}
+	jobs, busy := s.Stats()
+	if jobs != 2 {
+		t.Fatalf("jobs = %d", jobs)
+	}
+	if math.Abs(float64(busy-4)) > 1e-6 {
+		t.Fatalf("busy = %v, want 4", busy)
+	}
+}
+
+func TestFairServerAggregateThroughputMatchesFIFO(t *testing.T) {
+	// Same total work: the last completion time equals the FIFO makespan.
+	run := func(fifo bool) Time {
+		e := NewEngine()
+		var last Time
+		rec := func(_, en Time) {
+			if en > last {
+				last = en
+			}
+		}
+		if fifo {
+			s := NewServer(e, "f", 10)
+			for i := 0; i < 5; i++ {
+				s.Submit(100, 0, rec)
+			}
+		} else {
+			s := NewFairServer(e, "p", 10)
+			for i := 0; i < 5; i++ {
+				s.Submit(100, 0, rec)
+			}
+		}
+		e.Run()
+		return last
+	}
+	a, b := run(true), run(false)
+	if math.Abs(float64(a-b)) > 1e-6 {
+		t.Fatalf("makespans differ: FIFO %v vs PS %v", a, b)
+	}
+}
+
+func TestFairServerDeterministic(t *testing.T) {
+	run := func() []float64 {
+		e := NewEngine()
+		s := NewFairServer(e, "ps", 50)
+		var out []float64
+		for i := 1; i <= 10; i++ {
+			size := float64(i * 30)
+			at := Time(float64(i) * 0.1)
+			e.At(at, func() {
+				s.Submit(size, 0, func(_, en Time) { out = append(out, float64(en)) })
+			})
+		}
+		e.Run()
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic fair server")
+		}
+	}
+}
+
+// Compile-time Resource compliance for both contention models.
+var (
+	_ Resource = (*Server)(nil)
+	_ Resource = (*FairServer)(nil)
+)
+
+func TestFairServerOverheadFolded(t *testing.T) {
+	e := NewEngine()
+	s := NewFairServer(e, "ps", 100)
+	var end Time
+	s.Submit(100, Time(0.5), func(_, en Time) { end = en })
+	e.Run()
+	// 100 units at 100/s + 0.5s overhead folded into units.
+	if math.Abs(float64(end-1.5)) > 1e-9 {
+		t.Fatalf("end = %v, want 1.5", end)
+	}
+	if st := s.ServiceTime(100, Time(0.5)); math.Abs(float64(st-1.5)) > 1e-9 {
+		t.Fatalf("service time = %v, want 1.5", st)
+	}
+}
+
+func TestFairServerTinyResidualTerminates(t *testing.T) {
+	// Regression: residual work smaller than the clock's ulp must not
+	// wedge the wake-up loop at a single instant.
+	e := NewEngine()
+	s := NewFairServer(e, "ps", 1.58e10) // PCIe-switch-like byte rate
+	done := 0
+	// Jobs sized so shares leave sub-ulp residues at a large clock value.
+	e.At(1000, func() {
+		for i := 0; i < 7; i++ {
+			s.Submit(3.3554432e7+float64(i)*0.1, 0, func(_, _ Time) { done++ })
+		}
+	})
+	e.Run()
+	if done != 7 {
+		t.Fatalf("completed %d jobs, want 7", done)
+	}
+}
+
+func TestFairServerActiveCount(t *testing.T) {
+	e := NewEngine()
+	s := NewFairServer(e, "ps", 10)
+	s.Submit(100, 0, nil)
+	s.Submit(100, 0, nil)
+	if s.Active() != 2 {
+		t.Fatalf("active = %d", s.Active())
+	}
+	e.Run()
+	if s.Active() != 0 {
+		t.Fatalf("active after drain = %d", s.Active())
+	}
+}

@@ -1,0 +1,122 @@
+package sim
+
+import "fmt"
+
+// Resource is the common surface of the contended-resource models (FIFO
+// Server and processor-sharing FairServer): transfers submit jobs, cost
+// models ask for unloaded service times and congestion hints.
+type Resource interface {
+	Name() string
+	Rate() float64
+	Submit(size float64, overhead Time, done func(start, end Time))
+	// ServiceTime reports how long a job would take unloaded.
+	ServiceTime(size float64, overhead Time) Time
+	// AvailableAt reports the earliest instant a new job could start
+	// service (now, for sharing models).
+	AvailableAt() Time
+}
+
+// Server models a serial FIFO resource with a fixed service rate: a
+// point-to-point link, a PCIe switch uplink, a DMA copy engine or a GPU
+// kernel stream. Jobs are served one at a time in submission order; a job of
+// size units takes overhead + size/rate seconds.
+//
+// Because a Server never blocks the submitter (it only queues), resource
+// graphs built from Servers are deadlock-free by construction.
+type Server struct {
+	eng  *Engine
+	name string
+	rate float64 // units per second of virtual time
+
+	busyUntil Time
+
+	// Statistics.
+	jobs     uint64
+	units    float64
+	busyTime Time
+}
+
+// NewServer creates a FIFO server with the given service rate in units per
+// second (for links: bytes/s; for kernel streams: flops/s).
+func NewServer(eng *Engine, name string, rate float64) *Server {
+	if rate <= 0 {
+		panic(fmt.Sprintf("sim: server %q needs positive rate, got %g", name, rate))
+	}
+	return &Server{eng: eng, name: name, rate: rate}
+}
+
+// Name reports the server's diagnostic name.
+func (s *Server) Name() string { return s.name }
+
+// Rate reports the service rate in units per second.
+func (s *Server) Rate() float64 { return s.rate }
+
+// Submit enqueues a job of the given size with a fixed per-job overhead. The
+// done callback (may be nil) runs when the job finishes and receives the
+// virtual start and end times of its service interval.
+func (s *Server) Submit(size float64, overhead Time, done func(start, end Time)) {
+	if size < 0 {
+		panic(fmt.Sprintf("sim: negative job size %g on %q", size, s.name))
+	}
+	start := s.busyUntil
+	if now := s.eng.Now(); start < now {
+		start = now
+	}
+	end := start + overhead + Time(size/s.rate)
+	s.busyUntil = end
+	s.jobs++
+	s.units += size
+	s.busyTime += end - start
+	if done != nil {
+		s.eng.At(end, func() { done(start, end) })
+	}
+}
+
+// ServiceTime reports how long a job of the given size would occupy the
+// server, excluding queueing.
+func (s *Server) ServiceTime(size float64, overhead Time) Time {
+	return overhead + Time(size/s.rate)
+}
+
+// AvailableAt reports the earliest time a new job could start service.
+func (s *Server) AvailableAt() Time {
+	if now := s.eng.Now(); s.busyUntil < now {
+		return now
+	}
+	return s.busyUntil
+}
+
+// Stats reports the number of jobs served (or queued), total units and total
+// busy time accumulated so far.
+func (s *Server) Stats() (jobs uint64, units float64, busy Time) {
+	return s.jobs, s.units, s.busyTime
+}
+
+// Transfer occupies every server in path with the same job and fires done
+// once all of them have finished. It models a transfer that crosses several
+// shared resources (e.g. source PCIe switch, QPI, destination PCIe switch):
+// each hop queues independently and the payload is delivered at the latest
+// completion. The reported start is the earliest service start and the end
+// the latest service end.
+func Transfer(eng *Engine, path []Resource, size float64, overhead Time, done func(start, end Time)) {
+	if len(path) == 0 {
+		panic("sim: Transfer over empty path")
+	}
+	remaining := len(path)
+	first := Infinity
+	var last Time
+	for _, srv := range path {
+		srv.Submit(size, overhead, func(st, en Time) {
+			if st < first {
+				first = st
+			}
+			if en > last {
+				last = en
+			}
+			remaining--
+			if remaining == 0 && done != nil {
+				done(first, last)
+			}
+		})
+	}
+}

@@ -1,0 +1,227 @@
+package topology
+
+// DGX-1 hybrid cube-mesh (paper Fig. 1 and Fig. 2). Each V100 has six NVLink
+// bricks; on the DGX-1 they are wired so that every GPU reaches three peers
+// over 2×NVLink (~96 GB/s measured), one peer over 1×NVLink (~48 GB/s), and
+// the remaining three peers only over PCIe (~17 GB/s once QPI is crossed).
+//
+// GPU pairs {0,1}, {2,3}, {4,5}, {6,7} each share one PCIe Gen3 x16 switch
+// (~16 GB/s per direction to the host); switches {0,1} hang off CPU socket 0
+// and {2,3} off socket 1.
+
+// nvlink2Pairs are the GPU pairs connected by a double NVLink on the DGX-1,
+// taken from the green cells of the paper's measured bandwidth matrix.
+var nvlink2Pairs = [][2]int{
+	{0, 3}, {0, 4}, {1, 2}, {1, 5}, {2, 3}, {4, 7}, {5, 6}, {6, 7},
+}
+
+// nvlink1Pairs are the GPU pairs connected by a single NVLink (orange cells).
+var nvlink1Pairs = [][2]int{
+	{0, 1}, {0, 2}, {1, 3}, {2, 6}, {3, 7}, {4, 5}, {4, 6}, {5, 7},
+}
+
+// Measured sustained bandwidths from the paper's Fig. 2, in GB/s.
+const (
+	dgx1NVLink2GBs   = 96.4
+	dgx1NVLink1GBs   = 48.4
+	dgx1PCIeP2PGBs   = 17.3 // cross-switch / cross-socket peer route
+	dgx1HostLinkGBs  = 12.0 // effective pinned H2D/D2H per GPU stream
+	dgx1SwitchGBs    = 15.8 // PCIe Gen3 x16 switch uplink, shared by 2 GPUs
+	dgx1QPIGBs       = 19.2
+	dgx1LocalCopyGBs = 748.0 // diagonal of Fig. 2: on-device copy
+)
+
+// V100SXM2 is the GPU spec of the DGX-1 in Table I.
+var V100SXM2 = GPUSpec{
+	Name:         "Tesla V100-SXM2-32GB",
+	PeakFP64:     7.8e12,
+	MemoryBytes:  32 << 30,
+	LocalCopyGBs: dgx1LocalCopyGBs,
+}
+
+// DGX1 returns the 8-GPU NVIDIA DGX-1 platform of the paper.
+func DGX1() *Platform { return DGX1WithGPUs(8) }
+
+// DGX1WithGPUs returns a DGX-1 restricted to its first n GPUs (1 ≤ n ≤ 8),
+// used for scalability experiments. Link wiring between the retained GPUs is
+// unchanged.
+func DGX1WithGPUs(n int) *Platform {
+	if n < 1 || n > 8 {
+		panic("topology: DGX-1 has 1..8 GPUs")
+	}
+	p := &Platform{
+		Name:           "NVIDIA DGX-1 (V100)",
+		GPU:            V100SXM2,
+		NumGPUs:        n,
+		SwitchGBs:      dgx1SwitchGBs,
+		InterSocketGBs: dgx1QPIGBs,
+	}
+	p.links = make([][]Link, n)
+	for i := range p.links {
+		p.links[i] = make([]Link, n)
+		for j := range p.links[i] {
+			if i != j {
+				p.links[i][j] = Link{Kind: LinkPCIe, BandwidthGBs: dgx1PCIeP2PGBs}
+			}
+		}
+	}
+	set := func(pairs [][2]int, kind LinkKind, bw float64) {
+		for _, pr := range pairs {
+			a, b := pr[0], pr[1]
+			if a >= n || b >= n {
+				continue
+			}
+			p.links[a][b] = Link{Kind: kind, BandwidthGBs: bw}
+			p.links[b][a] = Link{Kind: kind, BandwidthGBs: bw}
+		}
+	}
+	set(nvlink2Pairs, LinkNVLink2, dgx1NVLink2GBs)
+	set(nvlink1Pairs, LinkNVLink1, dgx1NVLink1GBs)
+
+	p.hostLinks = make([]Link, n)
+	p.gpuToHost = make([]Link, n)
+	p.pcieSwitch = make([]int, n)
+	maxSwitch := 0
+	for i := 0; i < n; i++ {
+		p.hostLinks[i] = Link{Kind: LinkPCIe, BandwidthGBs: dgx1HostLinkGBs}
+		p.gpuToHost[i] = Link{Kind: LinkPCIe, BandwidthGBs: dgx1HostLinkGBs}
+		p.pcieSwitch[i] = i / 2
+		if p.pcieSwitch[i] > maxSwitch {
+			maxSwitch = p.pcieSwitch[i]
+		}
+	}
+	p.numSwitch = maxSwitch + 1
+	p.socketOf = make([]int, p.numSwitch)
+	for s := 0; s < p.numSwitch; s++ {
+		p.socketOf[s] = s / 2
+	}
+	p.numSockets = p.socketOf[p.numSwitch-1] + 1
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// DGX-2: 16 V100 GPUs joined by NVSwitch — a non-blocking crossbar giving
+// every GPU pair the full 6-brick NVLink bandwidth (~135 GB/s measured).
+// The interconnect is flat: every peer route has the same kind and rank,
+// so the topology-aware heuristic has nothing to rank (all sources tie)
+// while the optimistic heuristic still pays off (host links remain PCIe).
+const (
+	dgx2NVSwitchGBs = 135.0
+	dgx2HostLinkGBs = 12.0
+	dgx2SwitchGBs   = 15.8
+)
+
+// DGX2 returns a 16-GPU NVSwitch platform model.
+func DGX2() *Platform { return DGX2WithGPUs(16) }
+
+// DGX2WithGPUs returns a DGX-2 restricted to its first n GPUs (1 ≤ n ≤ 16).
+func DGX2WithGPUs(n int) *Platform {
+	if n < 1 || n > 16 {
+		panic("topology: DGX-2 has 1..16 GPUs")
+	}
+	p := &Platform{
+		Name:           "NVIDIA DGX-2 (V100, NVSwitch)",
+		GPU:            V100SXM2,
+		NumGPUs:        n,
+		SwitchGBs:      dgx2SwitchGBs,
+		InterSocketGBs: dgx1QPIGBs,
+	}
+	p.links = make([][]Link, n)
+	for i := range p.links {
+		p.links[i] = make([]Link, n)
+		for j := range p.links[i] {
+			if i != j {
+				// NVSwitch: uniform full-bandwidth NVLink between every
+				// pair.
+				p.links[i][j] = Link{Kind: LinkNVLink2, BandwidthGBs: dgx2NVSwitchGBs}
+			}
+		}
+	}
+	p.hostLinks = make([]Link, n)
+	p.gpuToHost = make([]Link, n)
+	p.pcieSwitch = make([]int, n)
+	maxSwitch := 0
+	for i := 0; i < n; i++ {
+		p.hostLinks[i] = Link{Kind: LinkPCIe, BandwidthGBs: dgx2HostLinkGBs}
+		p.gpuToHost[i] = Link{Kind: LinkPCIe, BandwidthGBs: dgx2HostLinkGBs}
+		p.pcieSwitch[i] = i / 2
+		if p.pcieSwitch[i] > maxSwitch {
+			maxSwitch = p.pcieSwitch[i]
+		}
+	}
+	p.numSwitch = maxSwitch + 1
+	p.socketOf = make([]int, p.numSwitch)
+	for s := 0; s < p.numSwitch; s++ {
+		p.socketOf[s] = s * 2 / p.numSwitch // first half socket 0, rest 1
+		if p.numSwitch == 1 {
+			p.socketOf[s] = 0
+		}
+	}
+	p.numSockets = p.socketOf[p.numSwitch-1] + 1
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Summit-like node: 6 GPUs in two triplets, NVLink everywhere inside a
+// triplet and — crucially — NVLink between CPU and GPU at 50 GB/s. The paper
+// (§III-C) predicts the optimistic heuristic gains little here because the
+// host link is no longer the bottleneck; SummitNode exists to test that
+// prediction.
+const (
+	summitNVLinkGBs   = 47.0
+	summitHostNVGBs   = 47.0
+	summitXBusGBs     = 32.0 // cross-socket
+	summitLocalGBs    = 720.0
+	summitMemoryBytes = 16 << 30
+)
+
+// SummitNode returns a 6-GPU IBM POWER9 + V100 node model with NVLink
+// CPU-GPU connectivity.
+func SummitNode() *Platform {
+	const n = 6
+	p := &Platform{
+		Name: "Summit-like POWER9 node (V100)",
+		GPU: GPUSpec{
+			Name:         "Tesla V100-SXM2-16GB",
+			PeakFP64:     7.8e12,
+			MemoryBytes:  summitMemoryBytes,
+			LocalCopyGBs: summitLocalGBs,
+		},
+		NumGPUs:        n,
+		SwitchGBs:      summitHostNVGBs,
+		InterSocketGBs: summitXBusGBs,
+	}
+	p.links = make([][]Link, n)
+	for i := range p.links {
+		p.links[i] = make([]Link, n)
+		for j := range p.links[i] {
+			if i == j {
+				continue
+			}
+			if i/3 == j/3 { // same triplet: direct NVLink
+				p.links[i][j] = Link{Kind: LinkNVLink1, BandwidthGBs: summitNVLinkGBs}
+			} else { // cross socket via X-Bus
+				p.links[i][j] = Link{Kind: LinkPCIe, BandwidthGBs: summitXBusGBs}
+			}
+		}
+	}
+	p.hostLinks = make([]Link, n)
+	p.gpuToHost = make([]Link, n)
+	p.pcieSwitch = make([]int, n)
+	for i := 0; i < n; i++ {
+		p.hostLinks[i] = Link{Kind: LinkNVLinkHost, BandwidthGBs: summitHostNVGBs}
+		p.gpuToHost[i] = Link{Kind: LinkNVLinkHost, BandwidthGBs: summitHostNVGBs}
+		p.pcieSwitch[i] = i / 3
+	}
+	p.numSwitch = 2
+	p.socketOf = []int{0, 1}
+	p.numSockets = 2
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}

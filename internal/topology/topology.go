@@ -1,0 +1,248 @@
+// Package topology describes multi-GPU platform interconnect topologies: the
+// set of devices, the links between them, their bandwidths and their relative
+// performance ranks.
+//
+// The flagship model is the NVIDIA DGX-1 hybrid cube-mesh of the paper
+// (Fig. 1): 8 V100 GPUs connected pairwise by 2×NVLink (≈96 GB/s measured),
+// 1×NVLink (≈48 GB/s) or PCIe, with pairs of GPUs sharing a PCIe Gen3 x16
+// switch to one of two host CPUs joined by QPI.
+//
+// The runtime heuristics consume only the information this package exports:
+// which devices hold a replica and how fast each candidate source's link to
+// the destination is — the same information the paper's implementation reads
+// through cuDeviceGetP2PAttribute.
+package topology
+
+import "fmt"
+
+// DeviceID identifies a device in a platform. GPU devices are numbered
+// 0..NumGPUs-1; the host CPU memory is the special device Host.
+type DeviceID int
+
+// Host is the pseudo-device denoting host (CPU) memory.
+const Host DeviceID = -1
+
+// LinkKind classifies the medium of a route between two devices.
+type LinkKind int
+
+const (
+	// LinkNone means no route (e.g. a device to itself uses local copies).
+	LinkNone LinkKind = iota
+	// LinkNVLink2 is a double NVLink route (≈96 GB/s on DGX-1).
+	LinkNVLink2
+	// LinkNVLink1 is a single NVLink route (≈48 GB/s on DGX-1).
+	LinkNVLink1
+	// LinkNVLinkHost is an NVLink CPU<->GPU route (POWER9/Summit nodes).
+	LinkNVLinkHost
+	// LinkPCIe is a PCIe route, possibly crossing QPI between sockets.
+	LinkPCIe
+)
+
+func (k LinkKind) String() string {
+	switch k {
+	case LinkNone:
+		return "none"
+	case LinkNVLink2:
+		return "NV2"
+	case LinkNVLink1:
+		return "NV1"
+	case LinkNVLinkHost:
+		return "NVH"
+	case LinkPCIe:
+		return "PCIe"
+	default:
+		return fmt.Sprintf("LinkKind(%d)", int(k))
+	}
+}
+
+// Rank converts a link kind into the relative performance rank used by the
+// topology-aware heuristic: higher is faster. This mirrors the relative
+// values returned by cuDeviceGetP2PAttribute(PERFORMANCE_RANK).
+func (k LinkKind) Rank() int {
+	switch k {
+	case LinkNVLink2:
+		return 3
+	case LinkNVLink1:
+		return 2
+	case LinkNVLinkHost:
+		return 2
+	case LinkPCIe:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Link describes one directed route between two devices.
+type Link struct {
+	Kind LinkKind
+	// BandwidthGBs is the sustained bandwidth of the route in GB/s (1e9
+	// bytes per second), per direction.
+	BandwidthGBs float64
+}
+
+// GPUSpec describes the compute side of one GPU.
+type GPUSpec struct {
+	Name string
+	// PeakFP64 is the peak double-precision rate in flop/s.
+	PeakFP64 float64
+	// MemoryBytes is the device memory capacity.
+	MemoryBytes int64
+	// LocalCopyGBs is the intra-device copy bandwidth (device-to-itself).
+	LocalCopyGBs float64
+}
+
+// Platform is a complete immutable description of a multi-GPU node.
+type Platform struct {
+	Name string
+	GPU  GPUSpec
+
+	// NumGPUs is the number of GPU devices.
+	NumGPUs int
+
+	// links[i][j] is the directed route GPU i -> GPU j (i ≠ j).
+	links [][]Link
+	// hostLinks[i] is the route host -> GPU i; gpuToHost[i] the reverse.
+	hostLinks []Link
+	gpuToHost []Link
+
+	// pcieSwitch[i] is the PCIe switch id GPU i hangs off. GPUs sharing a
+	// switch share the host uplink bandwidth.
+	pcieSwitch []int
+	numSwitch  int
+	// socketOf[s] is the CPU socket a switch belongs to.
+	socketOf   []int
+	numSockets int
+
+	// SwitchGBs is the per-direction bandwidth of one PCIe switch uplink.
+	SwitchGBs float64
+	// InterSocketGBs is the per-direction bandwidth of the CPU-CPU
+	// interconnect (QPI on DGX-1).
+	InterSocketGBs float64
+}
+
+// Validate checks internal consistency; it is called by the constructors and
+// exposed for platforms built by hand in tests.
+func (p *Platform) Validate() error {
+	if p.NumGPUs <= 0 {
+		return fmt.Errorf("topology: platform %q has %d GPUs", p.Name, p.NumGPUs)
+	}
+	if len(p.links) != p.NumGPUs || len(p.hostLinks) != p.NumGPUs ||
+		len(p.gpuToHost) != p.NumGPUs || len(p.pcieSwitch) != p.NumGPUs {
+		return fmt.Errorf("topology: platform %q has inconsistent table sizes", p.Name)
+	}
+	for i := 0; i < p.NumGPUs; i++ {
+		if len(p.links[i]) != p.NumGPUs {
+			return fmt.Errorf("topology: link row %d has %d entries", i, len(p.links[i]))
+		}
+		for j := 0; j < p.NumGPUs; j++ {
+			l := p.links[i][j]
+			if i == j {
+				continue
+			}
+			if l.Kind == LinkNone || l.BandwidthGBs <= 0 {
+				return fmt.Errorf("topology: missing link %d->%d", i, j)
+			}
+			back := p.links[j][i]
+			if back.Kind != l.Kind {
+				return fmt.Errorf("topology: asymmetric link kind %d<->%d", i, j)
+			}
+		}
+		if p.hostLinks[i].BandwidthGBs <= 0 || p.gpuToHost[i].BandwidthGBs <= 0 {
+			return fmt.Errorf("topology: missing host link for GPU %d", i)
+		}
+		if p.pcieSwitch[i] < 0 || p.pcieSwitch[i] >= p.numSwitch {
+			return fmt.Errorf("topology: GPU %d on unknown switch %d", i, p.pcieSwitch[i])
+		}
+	}
+	return nil
+}
+
+// GPULink reports the directed route between two distinct GPUs.
+func (p *Platform) GPULink(src, dst DeviceID) Link {
+	if src == dst {
+		return Link{Kind: LinkNone}
+	}
+	return p.links[src][dst]
+}
+
+// Link reports the route from src to dst where either may be Host.
+func (p *Platform) Link(src, dst DeviceID) Link {
+	switch {
+	case src == Host && dst == Host:
+		return Link{Kind: LinkNone}
+	case src == Host:
+		return p.hostLinks[dst]
+	case dst == Host:
+		return p.gpuToHost[src]
+	default:
+		return p.GPULink(src, dst)
+	}
+}
+
+// P2PPerformanceRank reports the relative performance rank of the route from
+// src to dst, higher meaning faster. It is the analogue of
+// cuDeviceGetP2PAttribute(CU_DEVICE_P2P_ATTRIBUTE_PERFORMANCE_RANK), with
+// host routes ranked below every peer-to-peer route.
+func (p *Platform) P2PPerformanceRank(src, dst DeviceID) int {
+	if src == Host || dst == Host {
+		return 0
+	}
+	return p.GPULink(src, dst).Kind.Rank()
+}
+
+// PCIeSwitchOf reports the PCIe switch id of a GPU.
+func (p *Platform) PCIeSwitchOf(g DeviceID) int { return p.pcieSwitch[g] }
+
+// NumPCIeSwitches reports how many PCIe switches the platform has.
+func (p *Platform) NumPCIeSwitches() int { return p.numSwitch }
+
+// SocketOfSwitch reports the CPU socket of a PCIe switch.
+func (p *Platform) SocketOfSwitch(s int) int { return p.socketOf[s] }
+
+// NumSockets reports the number of CPU sockets.
+func (p *Platform) NumSockets() int { return p.numSockets }
+
+// SameSwitch reports whether two GPUs hang off the same PCIe switch.
+func (p *Platform) SameSwitch(a, b DeviceID) bool {
+	return p.pcieSwitch[a] == p.pcieSwitch[b]
+}
+
+// BandwidthMatrix returns the (NumGPUs+1)² matrix of route bandwidths in
+// GB/s, indexed by device with Host mapped to the last row/column. The
+// diagonal holds the local copy bandwidth, reproducing the layout of Fig. 2.
+func (p *Platform) BandwidthMatrix() [][]float64 {
+	n := p.NumGPUs + 1
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	dev := func(i int) DeviceID {
+		if i == p.NumGPUs {
+			return Host
+		}
+		return DeviceID(i)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			di, dj := dev(i), dev(j)
+			if di == dj {
+				if di != Host {
+					m[i][j] = p.GPU.LocalCopyGBs
+				}
+				continue
+			}
+			m[i][j] = p.Link(di, dj).BandwidthGBs
+		}
+	}
+	return m
+}
+
+// GPUs returns the list of GPU device ids 0..NumGPUs-1.
+func (p *Platform) GPUs() []DeviceID {
+	ids := make([]DeviceID, p.NumGPUs)
+	for i := range ids {
+		ids[i] = DeviceID(i)
+	}
+	return ids
+}

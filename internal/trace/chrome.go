@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export: the recorded timeline serializes to the JSON
+// array format consumed by chrome://tracing and Perfetto, with one process
+// per GPU and one thread lane per operation kind — a zoomable alternative
+// to the ASCII Gantt for inspecting §IV-E style executions.
+
+// chromeEvent is one complete ("X" phase) trace event.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// chromeMeta names processes and threads.
+type chromeMeta struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args"`
+}
+
+// WriteChromeTrace serializes the recorded events as a Chrome trace-event
+// JSON array. Each GPU becomes a process; kinds map to fixed thread lanes
+// (0 = kernels, 1 = HtoD, 2 = DtoH, 3 = PtoP).
+func (r *Recorder) WriteChromeTrace(w io.Writer, numGPUs int) error {
+	var out []interface{}
+	for g := 0; g < numGPUs; g++ {
+		out = append(out, chromeMeta{
+			Name: "process_name", Ph: "M", Pid: g,
+			Args: map[string]interface{}{"name": fmt.Sprintf("GPU %d", g)},
+		})
+		for kind, lane := range chromeLanes() {
+			out = append(out, chromeMeta{
+				Name: "thread_name", Ph: "M", Pid: g, Tid: lane,
+				Args: map[string]interface{}{"name": kind.String()},
+			})
+		}
+	}
+	for _, e := range r.Events {
+		if int(e.Dev) >= numGPUs || e.Dev < 0 {
+			continue
+		}
+		ev := chromeEvent{
+			Name: e.Label,
+			Cat:  e.Kind.String(),
+			Ph:   "X",
+			Ts:   float64(e.Start) * 1e6,
+			Dur:  float64(e.Duration()) * 1e6,
+			Pid:  int(e.Dev),
+			Tid:  chromeLanes()[e.Kind],
+		}
+		if e.Bytes > 0 {
+			ev.Args = map[string]interface{}{"bytes": e.Bytes}
+		}
+		out = append(out, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// chromeLanes maps operation kinds to stable thread ids.
+func chromeLanes() map[OpKind]int {
+	return map[OpKind]int{
+		OpKernel: 0,
+		OpHtoD:   1,
+		OpDtoH:   2,
+		OpPtoP:   3,
+	}
+}

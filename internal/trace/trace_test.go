@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"xkblas/internal/cache"
+	"xkblas/internal/sim"
+)
+
+func sampleRecorder() *Recorder {
+	r := NewRecorder()
+	r.OnKernel(0, "GEMM", 0, 2)
+	r.OnKernel(1, "GEMM", 1, 2)
+	r.OnTransfer(cache.HostToDevice, -1, 0, 1000, 0, 1)
+	r.OnTransfer(cache.DeviceToHost, 1, -1, 500, 2, 3)
+	r.OnTransfer(cache.PeerToPeer, 0, 1, 800, 0.5, 1)
+	return r
+}
+
+func TestTransferAttribution(t *testing.T) {
+	r := sampleRecorder()
+	per := r.PerGPUByKind(2)
+	if per[0][OpHtoD] != 1 {
+		t.Errorf("HtoD must be attributed to the destination GPU: %v", per[0])
+	}
+	if per[1][OpDtoH] != 1 {
+		t.Errorf("DtoH must be attributed to the source GPU: %v", per[1])
+	}
+	if per[1][OpPtoP] != 0.5 {
+		t.Errorf("PtoP must be attributed to the destination GPU: %v", per[1])
+	}
+}
+
+func TestCumulativeAndNormalized(t *testing.T) {
+	r := sampleRecorder()
+	cum := r.CumulativeByKind()
+	if cum[OpKernel] != 3 { // 2 + 1
+		t.Errorf("kernel cumulative = %v", cum[OpKernel])
+	}
+	norm := r.NormalizedByKind()
+	var total float64
+	for _, v := range norm {
+		total += v
+	}
+	if math.Abs(total-100) > 1e-9 {
+		t.Errorf("normalized ratios sum to %g, want 100", total)
+	}
+}
+
+func TestSpanAndTimeline(t *testing.T) {
+	r := sampleRecorder()
+	s, e := r.Span()
+	if s != 0 || e != 3 {
+		t.Errorf("span = [%v,%v], want [0,3]", s, e)
+	}
+	tl := r.Timeline(1)
+	if len(tl) != 3 {
+		t.Fatalf("timeline(1) events = %d, want 3", len(tl))
+	}
+	for i := 1; i < len(tl); i++ {
+		if tl[i].Start < tl[i-1].Start {
+			t.Fatal("timeline not sorted")
+		}
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	r := sampleRecorder()
+	var buf bytes.Buffer
+	if err := r.Gantt(&buf, 2, 30); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "GPU0") || !strings.Contains(out, "GPU1") {
+		t.Fatalf("missing GPU rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("no kernel glyphs rendered")
+	}
+	// Kernel overrides transfer glyphs when overlapping.
+	row0 := out[strings.Index(out, "GPU0"):]
+	if strings.Count(row0[:strings.Index(row0, "\n")], "h") > 0 &&
+		!strings.Contains(row0, "#") {
+		t.Fatal("kernel priority violated in Gantt")
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRecorder().Gantt(&buf, 2, 30); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatal("empty trace not reported")
+	}
+}
+
+func TestIdleRatio(t *testing.T) {
+	r := NewRecorder()
+	r.OnKernel(0, "GEMM", 0, 4) // busy the whole span
+	r.OnKernel(1, "GEMM", 0, 1) // 25% busy
+	idle := r.IdleRatio(2)
+	if idle[0] != 0 {
+		t.Errorf("GPU0 idle = %g, want 0", idle[0])
+	}
+	if math.Abs(idle[1]-0.75) > 1e-9 {
+		t.Errorf("GPU1 idle = %g, want 0.75", idle[1])
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := sampleRecorder()
+	r.Reset()
+	if len(r.Events) != 0 {
+		t.Fatal("reset did not clear events")
+	}
+	var s, e sim.Time = r.Span()
+	if s != 0 || e != 0 {
+		t.Fatal("span of empty recorder")
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	r := sampleRecorder()
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := jsonUnmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var complete, meta int
+	for _, e := range events {
+		switch e["ph"] {
+		case "X":
+			complete++
+			if e["dur"].(float64) <= 0 {
+				t.Fatal("non-positive duration")
+			}
+		case "M":
+			meta++
+		}
+	}
+	if complete != len(r.Events) {
+		t.Fatalf("complete events = %d, want %d", complete, len(r.Events))
+	}
+	if meta == 0 {
+		t.Fatal("missing process/thread metadata")
+	}
+}
+
+func jsonUnmarshal(b []byte, v interface{}) error { return json.Unmarshal(b, v) }

@@ -1,0 +1,286 @@
+package xkrt
+
+import (
+	"fmt"
+
+	"xkblas/internal/cache"
+	"xkblas/internal/device"
+	"xkblas/internal/sim"
+	"xkblas/internal/topology"
+)
+
+// SchedulerKind selects the ready-task scheduler.
+type SchedulerKind int
+
+const (
+	// WorkStealing is XKaapi's scheduler: owner-computes mapping plus
+	// locality-aware stealing (§III-A, [11]).
+	WorkStealing SchedulerKind = iota
+	// DMDAS is the StarPU data-aware sorted scheduler the paper configures
+	// for Chameleon (§IV-A); available here for the scheduler ablation.
+	DMDAS
+)
+
+// SourcePolicy constrains which peers may serve as transfer sources; it is
+// how the baseline libraries' data-movement policies are emulated on the
+// shared runtime.
+type SourcePolicy int
+
+const (
+	// SourceAny allows any valid GPU replica (XKaapi, StarPU, PaRSEC).
+	SourceAny SourcePolicy = iota
+	// SourceHostOnly never reads from a peer GPU while the host copy is
+	// valid (cuBLAS-XT, SLATE: all traffic crosses PCIe).
+	SourceHostOnly
+	// SourceSameSwitch restricts peer reads to GPUs on the same PCIe
+	// switch — BLASX's two-level software cache (§II-C).
+	SourceSameSwitch
+)
+
+// Options configure a runtime instance. The two booleans are the paper's
+// contributions and default to on; Fig. 3 disables them one at a time.
+type Options struct {
+	// TopoAware selects transfer sources by decreasing link performance
+	// rank (§III-B). Disabled, the source among valid replicas is
+	// arbitrary (lowest device id).
+	TopoAware bool
+	// Optimistic chains onto in-flight replicas instead of re-reading host
+	// memory (§III-C).
+	Optimistic bool
+	// Window is the per-device software pipeline depth: how many tasks may
+	// be fetching operands while one computes. XKaapi overlaps
+	// communication and computation by running each operation type on its
+	// own stream (§II-B).
+	Window int
+	// Scheduler picks WorkStealing (default) or DMDAS.
+	Scheduler SchedulerKind
+	// Sources constrains peer transfer sources (baseline emulation).
+	Sources SourcePolicy
+	// NoSteal disables work stealing: tasks run exactly where the
+	// owner-computes map placed them (static round-robin dispatch, as in
+	// cuBLAS-XT's tile assignment and SLATE's fixed distribution).
+	NoSteal bool
+	// EvictAfterUse drops input replicas as soon as the consuming kernel
+	// finishes — streaming semantics without a software cache (cuBLAS-XT
+	// pipes tiles through fixed staging buffers and re-reads operands for
+	// every product).
+	EvictAfterUse bool
+	// GridP×GridQ is the owner-computes mapping grid; 0 derives it from
+	// the GPU count (8→4×2, matching the paper's DoD grid).
+	GridP, GridQ int
+}
+
+// DefaultOptions returns the full-featured XKBLAS configuration.
+func DefaultOptions() Options {
+	return Options{TopoAware: true, Optimistic: true, Window: 4}
+}
+
+// Observer receives kernel-execution trace events; transfers are observed
+// via cache.Observer.
+type Observer interface {
+	OnKernel(dev topology.DeviceID, name string, start, end sim.Time)
+}
+
+// Runtime is a live XKaapi-like runtime bound to a simulated platform.
+type Runtime struct {
+	Eng   *sim.Engine
+	Plat  *device.Platform
+	Cache *cache.Cache
+	Opt   Options
+	Obs   Observer
+
+	nextID     int
+	lastWriter map[cache.TileKey]*Task
+	readers    map[cache.TileKey][]*Task
+
+	queues  [][]*Task // per-device ready queues (FIFO or priority-sorted)
+	window  []int     // per-device in-flight task count
+	estLoad []sim.Time
+
+	pending int // submitted but not completed tasks
+	ownerRR int // round-robin fallback for unowned written tiles
+
+	stats RuntimeStats
+}
+
+// RuntimeStats counts scheduler activity.
+type RuntimeStats struct {
+	TasksRun      int64
+	Steals        int64
+	ChainedHops   int64 // optimistic forwards
+	HostFallbacks int64 // transfers sourced from host
+	PeerSources   int64 // transfers sourced from a GPU replica
+}
+
+// New builds a runtime over an existing engine/platform with a fresh cache.
+// functional selects real-data mode.
+func New(eng *sim.Engine, plat *device.Platform, functional bool, opt Options) *Runtime {
+	if opt.Window <= 0 {
+		opt.Window = 4
+	}
+	n := len(plat.GPUs)
+	if opt.GridP == 0 || opt.GridQ == 0 {
+		opt.GridP, opt.GridQ = defaultGrid(n)
+	}
+	rt := &Runtime{
+		Eng:        eng,
+		Plat:       plat,
+		Cache:      cache.New(plat, functional),
+		Opt:        opt,
+		lastWriter: make(map[cache.TileKey]*Task),
+		readers:    make(map[cache.TileKey][]*Task),
+		queues:     make([][]*Task, n),
+		window:     make([]int, n),
+		estLoad:    make([]sim.Time, n),
+	}
+	return rt
+}
+
+// defaultGrid factors n into the most square P×Q grid with P ≥ Q; 8 GPUs
+// give the paper's (4,2).
+func defaultGrid(n int) (p, q int) {
+	p, q = n, 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			p, q = n/d, d
+		}
+	}
+	return p, q
+}
+
+// Stats returns a copy of the runtime counters.
+func (rt *Runtime) Stats() RuntimeStats { return rt.stats }
+
+// Pending reports how many submitted tasks have not completed.
+func (rt *Runtime) Pending() int { return rt.pending }
+
+// PendingExternal adjusts the pending counter for operations tracked
+// outside the task graph (e.g. host-memory registration), so Barrier also
+// waits for them. Pass +1 when starting, -1 on completion.
+func (rt *Runtime) PendingExternal(delta int) {
+	rt.pending += delta
+	if rt.pending < 0 {
+		panic("xkrt: negative pending count")
+	}
+}
+
+// Submit adds a compute task with the given kernel, priority and accesses.
+// Dependencies are inferred from access modes in submission order, exactly
+// like a sequential-consistency superscalar: reads depend on the last
+// writer; writes depend on the last writer and every reader since.
+func (rt *Runtime) Submit(name string, kern KernelSpec, priority int, accesses ...Access) *Task {
+	t := &Task{
+		id:       rt.nextID,
+		name:     name,
+		kind:     kindCompute,
+		acc:      accesses,
+		kern:     kern,
+		priority: priority,
+		dev:      -1,
+	}
+	rt.nextID++
+	rt.link(t)
+	return t
+}
+
+// SubmitFlush adds a coherency task: once the last writer of the tile
+// completes, its dirty replica is written back to host memory. This is the
+// lazy, composable D2H of §IV-F (xkblas_memory_coherent_async).
+func (rt *Runtime) SubmitFlush(tile *cache.Tile) *Task {
+	t := &Task{
+		id:   rt.nextID,
+		name: "flush " + tile.Key.String(),
+		kind: kindFlush,
+		acc:  []Access{R(tile)},
+		dev:  -1,
+	}
+	rt.nextID++
+	rt.link(t)
+	return t
+}
+
+// SubmitPrefetch adds a distribution task pushing the tile to dev and
+// marking dev as the tile's owner-computes home
+// (xkblas_distribute_2Dblock_cyclic_async builds on this).
+func (rt *Runtime) SubmitPrefetch(tile *cache.Tile, dev topology.DeviceID) *Task {
+	t := &Task{
+		id:   rt.nextID,
+		name: "prefetch " + tile.Key.String(),
+		kind: kindPrefetch,
+		acc:  []Access{R(tile)},
+		dev:  dev,
+	}
+	rt.nextID++
+	tile.Owner = dev
+	rt.link(t)
+	return t
+}
+
+// link wires dependencies and enqueues the task if it is immediately ready.
+func (rt *Runtime) link(t *Task) {
+	rt.pending++
+	depSet := make(map[int]struct{})
+	addDep := func(p *Task) {
+		if p == nil || p.state == stateDone || p == t {
+			return
+		}
+		if _, dup := depSet[p.id]; dup {
+			return
+		}
+		depSet[p.id] = struct{}{}
+		p.succs = append(p.succs, t)
+		t.preds++
+	}
+	for _, a := range t.acc {
+		k := a.Tile.Key
+		if a.Mode.reads() {
+			addDep(rt.lastWriter[k])
+		}
+		if a.Mode.writes() {
+			addDep(rt.lastWriter[k])
+			for _, r := range rt.readers[k] {
+				addDep(r)
+			}
+		}
+	}
+	// Update the tables after scanning all accesses.
+	for _, a := range t.acc {
+		k := a.Tile.Key
+		if a.Mode.writes() {
+			rt.lastWriter[k] = t
+			rt.readers[k] = nil
+		} else {
+			rt.readers[k] = append(rt.readers[k], t)
+		}
+	}
+	if t.preds == 0 {
+		rt.enqueueReady(t)
+	}
+}
+
+// Barrier drives the simulation until every submitted task has completed
+// and returns the virtual time.
+func (rt *Runtime) Barrier() sim.Time {
+	rt.Eng.RunWhile(func() bool { return rt.pending > 0 })
+	if rt.pending > 0 {
+		panic(fmt.Sprintf("xkrt: deadlock, %d tasks pending with no events", rt.pending))
+	}
+	return rt.Eng.Now()
+}
+
+// taskDone finalises a task and wakes successors.
+func (rt *Runtime) taskDone(t *Task) {
+	t.state = stateDone
+	rt.pending--
+	rt.stats.TasksRun++
+	for _, s := range t.succs {
+		s.preds--
+		if s.preds < 0 {
+			panic("xkrt: negative predecessor count")
+		}
+		if s.preds == 0 {
+			rt.enqueueReady(s)
+		}
+	}
+	rt.pumpAll()
+}

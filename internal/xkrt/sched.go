@@ -1,0 +1,283 @@
+package xkrt
+
+import (
+	"fmt"
+	"sort"
+
+	"xkblas/internal/cache"
+	"xkblas/internal/matrix"
+	"xkblas/internal/sim"
+	"xkblas/internal/topology"
+)
+
+// enqueueReady routes a dependency-free task to the scheduler.
+func (rt *Runtime) enqueueReady(t *Task) {
+	t.state = stateQueued
+	switch t.kind {
+	case kindFlush:
+		// Coherency tasks bypass device queues: the D2H engine is modelled
+		// inside the cache and contends on its own stream, which is how
+		// XKaapi overlaps result write-back with remaining kernels.
+		rt.runFlush(t)
+		return
+	case kindPrefetch:
+		rt.runPrefetch(t)
+		return
+	}
+	switch rt.Opt.Scheduler {
+	case WorkStealing:
+		dev := rt.homeDevice(t)
+		rt.queues[dev] = append(rt.queues[dev], t)
+	case DMDAS:
+		dev := rt.dmdasAssign(t)
+		t.dev = dev
+		rt.insertByPriority(dev, t)
+		rt.estLoad[dev] += t.estExec
+	}
+	rt.pumpAll()
+}
+
+// homeDevice implements the owner-computes rule: a task runs where its
+// output tile lives. Tiles without an owner yet are assigned with the 2D
+// grid map (i mod P, j mod Q), the mapping used for the paper's DoD
+// distribution.
+func (rt *Runtime) homeDevice(t *Task) topology.DeviceID {
+	w := t.writtenTile()
+	if w == nil {
+		// Read-only task (rare): round-robin.
+		d := topology.DeviceID(rt.ownerRR % len(rt.Plat.GPUs))
+		rt.ownerRR++
+		return d
+	}
+	if w.Owner >= 0 {
+		return w.Owner
+	}
+	owner := topology.DeviceID((w.Key.I%rt.Opt.GridP)*rt.Opt.GridQ+w.Key.J%rt.Opt.GridQ) %
+		topology.DeviceID(len(rt.Plat.GPUs))
+	w.Owner = owner
+	return owner
+}
+
+// dmdasAssign picks the device minimising estimated completion time
+// (device availability + missing-data transfer cost + kernel cost), the
+// StarPU dmdas model with a performance model already "trained" (the
+// simulator's timing model plays that role).
+func (rt *Runtime) dmdasAssign(t *Task) topology.DeviceID {
+	model := rt.Plat.Model
+	t.estExec = model.Time(t.kern.Routine, t.kern.Flops, t.kern.M, t.kern.N, t.kern.K)
+	best := topology.DeviceID(0)
+	var bestEnd sim.Time = sim.Infinity
+	for d := range rt.Plat.GPUs {
+		dev := topology.DeviceID(d)
+		avail := rt.Plat.GPU(dev).Kernel.AvailableAt() + rt.estLoad[d]
+		var xfer sim.Time
+		for _, a := range t.acc {
+			if !a.Mode.reads() {
+				continue
+			}
+			if a.Tile.ValidOn(dev) || a.Tile.InflightTo(dev) {
+				continue
+			}
+			src := topology.Host
+			if g := firstValidGPU(a.Tile); g >= 0 {
+				src = g
+			} else if !a.Tile.HostValid() {
+				src = a.Tile.DirtyOn()
+			}
+			xfer += rt.Plat.TransferEstimate(src, dev, a.Tile.Bytes)
+		}
+		end := avail + xfer + t.estExec
+		if end < bestEnd {
+			bestEnd = end
+			best = dev
+		}
+	}
+	return best
+}
+
+func firstValidGPU(t *cache.Tile) topology.DeviceID {
+	gs := t.ValidGPUs()
+	if len(gs) == 0 {
+		return -1
+	}
+	return gs[0]
+}
+
+// insertByPriority keeps the DMDAS per-device queue sorted by descending
+// priority, then submission order.
+func (rt *Runtime) insertByPriority(dev topology.DeviceID, t *Task) {
+	q := rt.queues[dev]
+	i := sort.Search(len(q), func(i int) bool {
+		if q[i].priority != t.priority {
+			return q[i].priority < t.priority
+		}
+		return q[i].id > t.id
+	})
+	q = append(q, nil)
+	copy(q[i+1:], q[i:])
+	q[i] = t
+	rt.queues[dev] = q
+}
+
+// pumpAll tops up every device's pipeline window in id order (determinism).
+func (rt *Runtime) pumpAll() {
+	for d := range rt.Plat.GPUs {
+		rt.pump(topology.DeviceID(d))
+	}
+}
+
+// pump starts tasks on dev while its window has room.
+func (rt *Runtime) pump(dev topology.DeviceID) {
+	for rt.window[dev] < rt.Opt.Window {
+		t := rt.popTask(dev)
+		if t == nil {
+			return
+		}
+		rt.startTask(dev, t)
+	}
+}
+
+// popTask takes the next ready task for dev: local FIFO first, then — for
+// the work-stealing scheduler — a locality-guided steal from the most
+// loaded victim.
+func (rt *Runtime) popTask(dev topology.DeviceID) *Task {
+	q := rt.queues[dev]
+	if len(q) > 0 {
+		t := q[0]
+		rt.queues[dev] = q[1:]
+		if rt.Opt.Scheduler == DMDAS {
+			rt.estLoad[dev] -= t.estExec
+		}
+		return t
+	}
+	if rt.Opt.Scheduler != WorkStealing || rt.Opt.NoSteal {
+		return nil
+	}
+	// Steal: victim with the longest queue.
+	victim := -1
+	best := 0
+	for d := range rt.queues {
+		if topology.DeviceID(d) == dev {
+			continue
+		}
+		if l := len(rt.queues[d]); l > best {
+			best = l
+			victim = d
+		}
+	}
+	if victim < 0 {
+		return nil
+	}
+	// Locality heuristic [11]: among the first few victim tasks, prefer
+	// the one whose inputs are already resident or in flight on the thief.
+	vq := rt.queues[victim]
+	scan := len(vq)
+	if scan > 8 {
+		scan = 8
+	}
+	bestIdx, bestScore := 0, -1
+	for i := 0; i < scan; i++ {
+		score := 0
+		for _, a := range vq[i].acc {
+			if a.Tile.ValidOn(dev) || a.Tile.InflightTo(dev) {
+				score++
+			}
+		}
+		if score > bestScore {
+			bestScore = score
+			bestIdx = i
+		}
+	}
+	t := vq[bestIdx]
+	rt.queues[victim] = append(vq[:bestIdx:bestIdx], vq[bestIdx+1:]...)
+	rt.stats.Steals++
+	return t
+}
+
+// startTask begins operand staging for a compute task on dev.
+func (rt *Runtime) startTask(dev topology.DeviceID, t *Task) {
+	t.dev = dev
+	t.state = stateFetching
+	rt.window[dev]++
+	t.pendingFetch = 1 // guard against synchronous completion
+	for i := range t.acc {
+		a := t.acc[i]
+		switch {
+		case a.Mode.reads():
+			rt.fetchInput(t, a.Tile, dev)
+		case a.Mode == Write:
+			// Write-only output: allocate a raw replica; contents are
+			// produced by the kernel.
+			if err := rt.Cache.AllocRaw(a.Tile, dev); err != nil {
+				panic(fmt.Sprintf("xkrt: %v", err))
+			}
+			rt.Cache.Pin(a.Tile, dev)
+		}
+	}
+	t.pendingFetch--
+	if t.pendingFetch == 0 {
+		rt.launchKernel(t)
+	}
+}
+
+// launchKernel enqueues the kernel on dev's serial kernel stream.
+func (rt *Runtime) launchKernel(t *Task) {
+	dev := t.dev
+	t.state = stateRunning
+	g := rt.Plat.GPU(dev)
+	eff := rt.Plat.Model.EffectiveFlops(t.kern.Routine, t.kern.Flops, t.kern.M, t.kern.N, t.kern.K)
+	g.Kernel.Submit(eff, rt.Plat.Model.LaunchOverhead, func(start, end sim.Time) {
+		rt.completeKernel(t, start, end)
+	})
+}
+
+func (rt *Runtime) completeKernel(t *Task, start, end sim.Time) {
+	dev := t.dev
+	// Functional mode: run the real arithmetic on the device buffers.
+	if t.kern.Body != nil && rt.Cache.Functional {
+		bufs := make([]matrix.View, len(t.acc))
+		for i, a := range t.acc {
+			bufs[i] = rt.Cache.DeviceBuf(a.Tile, dev)
+		}
+		t.kern.Body(bufs)
+	}
+	for _, a := range t.acc {
+		if a.Mode.writes() {
+			rt.Cache.MarkDirty(a.Tile, dev)
+		}
+		rt.Cache.Unpin(a.Tile, dev)
+		rt.Cache.Touch(a.Tile, dev)
+		if rt.Opt.EvictAfterUse && a.Mode == Read {
+			rt.Cache.DropClean(a.Tile, dev)
+		}
+	}
+	if rt.Obs != nil {
+		rt.Obs.OnKernel(dev, t.kern.Routine.String(), start, end)
+	}
+	rt.window[dev]--
+	rt.taskDone(t)
+}
+
+// runFlush executes a coherency task.
+func (rt *Runtime) runFlush(t *Task) {
+	tile := t.acc[0].Tile
+	t.state = stateRunning
+	rt.Cache.FlushToHost(tile, func() { rt.taskDone(t) })
+}
+
+// runPrefetch executes a distribution task (data-on-device staging).
+func (rt *Runtime) runPrefetch(t *Task) {
+	tile := t.acc[0].Tile
+	dev := t.dev
+	t.state = stateRunning
+	if tile.ValidOn(dev) {
+		rt.taskDone(t)
+		return
+	}
+	if tile.InflightTo(dev) {
+		tile.AddInflightWaiter(dev, func() { rt.taskDone(t) })
+		return
+	}
+	src, chained := rt.selectSource(tile, dev)
+	rt.issueFetch(tile, src, dev, chained, func() { rt.taskDone(t) })
+}

@@ -1,0 +1,93 @@
+package xkrt
+
+import (
+	"testing"
+
+	"xkblas/internal/matrix"
+)
+
+func TestSubMatrixSharesTiles(t *testing.T) {
+	rt := newRuntime(false, DefaultOptions())
+	M := rt.Register(matrix.NewShape(64, 64), 16)
+	s := M.Sub(1, 1, 2, 3)
+	if s.Rows() != 2 || s.Cols() != 3 {
+		t.Fatalf("sub grid = %dx%d, want 2x3", s.Rows(), s.Cols())
+	}
+	if s.Tile(0, 0) != M.Tile(1, 1) {
+		t.Fatal("sub-matrix must share the parent's cache tiles")
+	}
+	if s.Tile(1, 2) != M.Tile(2, 3) {
+		t.Fatal("sub-matrix tile offset wrong")
+	}
+	if s.View.M != 32 || s.View.N != 48 {
+		t.Fatalf("sub view = %dx%d, want 32x48", s.View.M, s.View.N)
+	}
+}
+
+func TestSubMatrixEdgeTiles(t *testing.T) {
+	rt := newRuntime(false, DefaultOptions())
+	// 50x50 with 16-tiles: grid 4x4 with ragged last row/col (2 wide).
+	M := rt.Register(matrix.NewShape(50, 50), 16)
+	s := M.Sub(2, 2, 2, 2)
+	if s.View.M != 18 || s.View.N != 18 {
+		t.Fatalf("edge sub view = %dx%d, want 18x18", s.View.M, s.View.N)
+	}
+	m, n := s.Til.TileDims(1, 1)
+	if m != 2 || n != 2 {
+		t.Fatalf("edge tile dims = %dx%d, want 2x2", m, n)
+	}
+}
+
+func TestSubMatrixOutOfRangePanics(t *testing.T) {
+	rt := newRuntime(false, DefaultOptions())
+	M := rt.Register(matrix.NewShape(64, 64), 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	M.Sub(3, 3, 2, 2)
+}
+
+func TestRegisterRectComplexShape(t *testing.T) {
+	rt := newRuntime(false, DefaultOptions())
+	// A logical 40x40 complex matrix: interleaved 80x40 float64 view with
+	// 16-complex tiles = 32x16 float64 tiles.
+	M := rt.RegisterRect(matrix.NewShape(80, 40), 32, 16)
+	if M.Rows() != 3 || M.Cols() != 3 {
+		t.Fatalf("grid = %dx%d, want 3x3", M.Rows(), M.Cols())
+	}
+	tl := M.Tile(0, 0)
+	if tl.M != 32 || tl.N != 16 {
+		t.Fatalf("tile dims = %dx%d, want 32x16", tl.M, tl.N)
+	}
+	if tl.Bytes != 32*16*8 {
+		t.Fatalf("tile bytes = %d", tl.Bytes)
+	}
+	// Ragged last complex tile: 80-64=16 float rows, 40-32=8 cols.
+	last := M.Tile(2, 2)
+	if last.M != 16 || last.N != 8 {
+		t.Fatalf("edge tile dims = %dx%d, want 16x8", last.M, last.N)
+	}
+}
+
+func TestDependenciesAcrossParentAndSub(t *testing.T) {
+	// A write through the parent followed by a read through a sub-matrix
+	// must be ordered, because they resolve to the same cache tile.
+	rt := newRuntime(true, DefaultOptions())
+	v := matrix.New(32, 32)
+	M := rt.Register(v, 16)
+	sub := M.Sub(0, 0, 1, 1)
+
+	order := make([]string, 0, 2)
+	w := KernelSpec{Routine: 0, M: 16, N: 16, K: 16, Flops: 1e6,
+		Body: func(b []matrix.View) { order = append(order, "write") }}
+	r := KernelSpec{Routine: 0, M: 16, N: 16, K: 16, Flops: 1e6,
+		Body: func(b []matrix.View) { order = append(order, "read") }}
+	rt.Submit("w", w, 0, RW(M.Tile(0, 0)))
+	rt.Submit("r", r, 0, R(sub.Tile(0, 0)), RW(M.Tile(1, 1)))
+	rt.Barrier()
+	if len(order) != 2 || order[0] != "write" || order[1] != "read" {
+		t.Fatalf("cross-view ordering broken: %v", order)
+	}
+}

@@ -1,0 +1,138 @@
+package zblas
+
+import (
+	"fmt"
+
+	"xkblas/internal/blasops"
+	"xkblas/internal/matrix"
+)
+
+// Complex triangular multiply and solve (ZTRMM/ZTRSM), completing the
+// triangular pair of the complex level-3 set. op ∈ {N, T, C}.
+
+// triOpAt reads element (i,j) of op(A) for triangular A (stored triangle
+// uplo, diag convention); elements outside op(A)'s triangle read as zero.
+func triOpAt(uplo Uplo, ta Trans, diag blasops.Diag, a matrix.ZMat, i, j int) complex128 {
+	ii, jj := i, j
+	if ta != NoTrans {
+		ii, jj = j, i
+	}
+	if ii == jj {
+		if diag == blasops.Unit {
+			return 1
+		}
+		v := a.At(ii, ii)
+		if ta == ConjTrans {
+			return conj(v)
+		}
+		return v
+	}
+	inTri := (uplo == Lower && ii > jj) || (uplo == Upper && ii < jj)
+	if !inTri {
+		return 0
+	}
+	v := a.At(ii, jj)
+	if ta == ConjTrans {
+		return conj(v)
+	}
+	return v
+}
+
+// Trmm computes B = alpha·op(A)·B (side Left, A triangular m×m) or
+// B = alpha·B·op(A) (side Right), in place in B.
+func Trmm(side Side, uplo Uplo, ta Trans, diag blasops.Diag, alpha complex128, a matrix.ZMat, b matrix.ZMat) {
+	m, n := b.M, b.N
+	checkTri(side, a, m, n, "ztrmm")
+	if side == Left {
+		col := make([]complex128, m)
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				col[i] = b.At(i, j)
+			}
+			for i := 0; i < m; i++ {
+				var s complex128
+				for l := 0; l < m; l++ {
+					if v := triOpAt(uplo, ta, diag, a, i, l); v != 0 {
+						s += v * col[l]
+					}
+				}
+				b.Set(i, j, alpha*s)
+			}
+		}
+		return
+	}
+	row := make([]complex128, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			row[j] = b.At(i, j)
+		}
+		for j := 0; j < n; j++ {
+			var s complex128
+			for l := 0; l < n; l++ {
+				if v := triOpAt(uplo, ta, diag, a, l, j); v != 0 {
+					s += row[l] * v
+				}
+			}
+			b.Set(i, j, alpha*s)
+		}
+	}
+}
+
+// Trsm solves op(A)·X = alpha·B (side Left) or X·op(A) = alpha·B (side
+// Right) in place in B.
+func Trsm(side Side, uplo Uplo, ta Trans, diag blasops.Diag, alpha complex128, a matrix.ZMat, b matrix.ZMat) {
+	m, n := b.M, b.N
+	checkTri(side, a, m, n, "ztrsm")
+	lowerEff := (uplo == Lower) == (ta == NoTrans)
+	if side == Left {
+		for j := 0; j < n; j++ {
+			if lowerEff {
+				for i := 0; i < m; i++ {
+					s := alpha * b.At(i, j)
+					for l := 0; l < i; l++ {
+						s -= triOpAt(uplo, ta, diag, a, i, l) * b.At(l, j)
+					}
+					b.Set(i, j, s/triOpAt(uplo, ta, diag, a, i, i))
+				}
+			} else {
+				for i := m - 1; i >= 0; i-- {
+					s := alpha * b.At(i, j)
+					for l := i + 1; l < m; l++ {
+						s -= triOpAt(uplo, ta, diag, a, i, l) * b.At(l, j)
+					}
+					b.Set(i, j, s/triOpAt(uplo, ta, diag, a, i, i))
+				}
+			}
+		}
+		return
+	}
+	for i := 0; i < m; i++ {
+		if lowerEff {
+			for j := n - 1; j >= 0; j-- {
+				s := alpha * b.At(i, j)
+				for l := j + 1; l < n; l++ {
+					s -= b.At(i, l) * triOpAt(uplo, ta, diag, a, l, j)
+				}
+				b.Set(i, j, s/triOpAt(uplo, ta, diag, a, j, j))
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				s := alpha * b.At(i, j)
+				for l := 0; l < j; l++ {
+					s -= b.At(i, l) * triOpAt(uplo, ta, diag, a, l, j)
+				}
+				b.Set(i, j, s/triOpAt(uplo, ta, diag, a, j, j))
+			}
+		}
+	}
+}
+
+func checkTri(side Side, a matrix.ZMat, m, n int, op string) {
+	dim := m
+	if side == Right {
+		dim = n
+	}
+	if a.M != dim || a.N != dim {
+		panic(fmt.Sprintf("zblas: %s triangular operand must be %dx%d, got %dx%d", op, dim, dim, a.M, a.N))
+	}
+}

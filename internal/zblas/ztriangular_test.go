@@ -1,0 +1,94 @@
+package zblas
+
+import (
+	"math/rand"
+	"testing"
+
+	"xkblas/internal/blasops"
+	"xkblas/internal/matrix"
+)
+
+func diagDominantZ(rng *rand.Rand, n int) matrix.ZMat {
+	a := matrix.NewZ(n, n)
+	a.FillRandom(rng)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+complex(float64(n)+4, 0))
+	}
+	return a
+}
+
+func TestZtrmmAgainstDenseProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []Uplo{Lower, Upper} {
+			for _, ta := range []Trans{NoTrans, Transpose, ConjTrans} {
+				for _, diag := range []blasops.Diag{blasops.NonUnit, blasops.Unit} {
+					m, n := 5, 6
+					dim := m
+					if side == Right {
+						dim = n
+					}
+					a := randZ(rng, dim, dim)
+					b := randZ(rng, m, n)
+					alpha := complex(1.2, -0.7)
+					// Dense reference: materialize op(tri(A)) and multiply.
+					tri := matrix.NewZ(dim, dim)
+					for j := 0; j < dim; j++ {
+						for i := 0; i < dim; i++ {
+							tri.Set(i, j, triOpAt(uplo, ta, diag, a, i, j))
+						}
+					}
+					var want matrix.ZMat
+					if side == Left {
+						want = naiveZ(tri, b)
+					} else {
+						want = naiveZ(b, tri)
+					}
+					want = zAxpby(alpha, want, 0, want)
+					Trmm(side, uplo, ta, diag, alpha, a, b)
+					if d := matrix.MaxAbsDiffZ(b, want); d > 1e-10 {
+						t.Errorf("ztrmm(%c%c%c%c): diff %g", side, uplo, ta, diag, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestZtrsmRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []Uplo{Lower, Upper} {
+			for _, ta := range []Trans{NoTrans, Transpose, ConjTrans} {
+				for _, diag := range []blasops.Diag{blasops.NonUnit, blasops.Unit} {
+					m, n := 6, 5
+					dim := m
+					if side == Right {
+						dim = n
+					}
+					a := diagDominantZ(rng, dim)
+					b := randZ(rng, m, n)
+					orig := b.Clone()
+					alpha := complex(2, 1)
+					Trsm(side, uplo, ta, diag, alpha, a, b)
+					Trmm(side, uplo, ta, diag, 1, a, b)
+					want := zAxpby(alpha, orig, 0, orig)
+					if d := matrix.MaxAbsDiffZ(b, want); d > 1e-8 {
+						t.Errorf("ztrsm(%c%c%c%c): residual %g", side, uplo, ta, diag, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestZTriangularShapeValidation(t *testing.T) {
+	a := matrix.NewZ(3, 4)
+	b := matrix.NewZ(3, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-square triangular operand")
+		}
+	}()
+	Trmm(Left, Lower, NoTrans, blasops.NonUnit, 1, a, b)
+}
