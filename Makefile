@@ -3,15 +3,23 @@
 
 GO ?= go
 
-.PHONY: all build test bench verify experiments experiments-quick examples fmt vet clean
+.PHONY: all build test race check bench verify experiments experiments-quick examples fmt vet clean
 
-all: build test
+all: check
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# Race-detector pass over the packages with multi-goroutine code: the
+# parallel sweep harness, the engine it drives, and the parallel host GEMM.
+race:
+	$(GO) test -race ./internal/bench/... ./internal/sim/... ./internal/hostblas/...
+
+# Default verification gate: build, tests, race pass.
+check: build test race
 
 # One testing.B benchmark per paper table/figure plus the ablations.
 bench:

@@ -13,6 +13,10 @@
 //	xkbench -exp sweep -libs XKBlas,Slate -routines GEMM,TRSM -sizes 16384,32768
 //	xkbench -exp sweep -routines SYR2K -dod
 //
+//	# Parallelism: independent simulated runs fan out across host cores
+//	# (default: all of them); any level returns bit-identical results.
+//	xkbench -exp fig5 -parallel 1
+//
 // Paper experiments: table1, fig2, fig3, table2, fig4, fig5, fig6, fig7,
 // fig8, fig9. Extensions: scale, summit, hermitian, pinning, factor.
 package main
@@ -21,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -40,7 +45,11 @@ func main() {
 	runs := flag.Int("runs", 3, "custom sweep: measured repetitions")
 	dod := flag.Bool("dod", false, "custom sweep: data-on-device scenario")
 	plot := flag.Bool("plot", false, "render sweep results as ASCII TFlop/s-vs-N charts")
+	parallel := flag.Int("parallel", runtime.NumCPU(),
+		"worker goroutines for independent simulated runs (1 = sequential; results are bit-identical at any level)")
 	flag.Parse()
+
+	bench.DefaultParallelism = *parallel
 
 	w := os.Stdout
 	var points []bench.Point
@@ -131,6 +140,7 @@ func customSweep(w *os.File, libsSpec, routinesSpec, sizesSpec, tilesSpec string
 		NoiseAmp:      0.02,
 		Progress:      w,
 		ExtraTilesFor: map[string]bool{"cuBLAS-XT": true, "Slate": true},
+		Parallel:      bench.DefaultParallelism,
 	}
 	if dod {
 		cfg.Scenario = baseline.DataOnDevice

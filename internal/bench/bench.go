@@ -52,6 +52,12 @@ type Config struct {
 	MaxTilesPerDim int
 	// Progress, when non-nil, receives one line per completed point.
 	Progress io.Writer
+	// Parallel is the number of worker goroutines executing independent
+	// simulated runs. Values ≤ 1 run sequentially. Every simulation owns a
+	// private sim.Engine, and results are reassembled in the sequential
+	// order, so any parallelism level returns bit-identical points (see
+	// DESIGN.md §6).
+	Parallel int
 }
 
 // DefaultTiles is the paper's tile-size candidate set.
@@ -87,41 +93,118 @@ func meanCI(xs []float64) (mean, ci float64) {
 	return mean, 1.96 * sd / math.Sqrt(n)
 }
 
-// MeasurePoint measures one (lib, routine, N) with best-tile selection.
-func MeasurePoint(cfg Config, lib baseline.Library, r blasops.Routine, n int) Point {
+// effectiveRuns resolves the configured repetition count (paper default 8).
+func effectiveRuns(cfg Config) int {
+	if cfg.Runs <= 0 {
+		return 8
+	}
+	return cfg.Runs
+}
+
+// tileCandidates returns the candidate tile sizes for one library, in
+// configuration order, deduplicated: when ExtraTilesFor adds 8192/16384
+// that are already in cfg.Tiles, each tile is measured exactly once.
+func tileCandidates(cfg Config, lib baseline.Library) []int {
 	tiles := cfg.Tiles
 	if len(tiles) == 0 {
 		tiles = DefaultTiles()
 	}
-	if cfg.ExtraTilesFor[lib.Name()] {
-		tiles = append(append([]int{}, tiles...), 8192, 16384)
+	out := make([]int, 0, len(tiles)+2)
+	seen := make(map[int]bool, len(tiles)+2)
+	add := func(nb int) {
+		if !seen[nb] {
+			seen[nb] = true
+			out = append(out, nb)
+		}
 	}
-	runs := cfg.Runs
-	if runs <= 0 {
-		runs = 8
-	}
-	best := Point{Lib: lib.Name(), Routine: r, N: n, Err: fmt.Errorf("no feasible tile size")}
 	for _, nb := range tiles {
+		add(nb)
+	}
+	if cfg.ExtraTilesFor[lib.Name()] {
+		add(8192)
+		add(16384)
+	}
+	return out
+}
+
+// feasibleTiles filters candidates against the problem size and the
+// per-dimension tile cap. The result is fully determined by the config, so
+// the parallel harness can enumerate every simulated run up front.
+func feasibleTiles(cfg Config, lib baseline.Library, n int) []int {
+	var out []int
+	for _, nb := range tileCandidates(cfg, lib) {
 		if nb > n {
 			continue
 		}
 		if cfg.MaxTilesPerDim > 0 && (n+nb-1)/nb > cfg.MaxTilesPerDim {
 			continue
 		}
-		// Warm-up (discarded) then measured repetitions.
-		var samples []float64
-		var lastErr error
+		out = append(out, nb)
+	}
+	return out
+}
+
+// runRep executes one simulated repetition (rep 0 is the discarded
+// warm-up). Each call builds a private platform and sim.Engine, so
+// repetitions are independent and safe to execute concurrently.
+func runRep(cfg Config, lib baseline.Library, r blasops.Routine, n, nb, rep int) baseline.Result {
+	return lib.Run(baseline.Request{
+		Routine:   r,
+		N:         n,
+		NB:        nb,
+		Scenario:  cfg.Scenario,
+		NoiseAmp:  cfg.NoiseAmp,
+		NoiseSeed: int64(rep)*7919 + int64(n) + int64(nb),
+	})
+}
+
+// tileRuns holds the per-repetition results of one candidate tile size.
+// upTo is the number of populated entries: the sequential path stops filling
+// at the first error, the parallel path always fills all of them; reduction
+// only reads entries up to the first error, so both populations reduce to
+// the same Point.
+type tileRuns struct {
+	nb   int
+	res  []baseline.Result // indexed by rep; entry 0 is the warm-up
+	upTo int
+}
+
+// measureTilesSequential reproduces the sequential per-tile inner loop:
+// warm-up then measured repetitions, stopping a tile at its first error.
+func measureTilesSequential(cfg Config, lib baseline.Library, r blasops.Routine, n int, tiles []int) []tileRuns {
+	runs := effectiveRuns(cfg)
+	out := make([]tileRuns, len(tiles))
+	for ti, nb := range tiles {
+		tr := tileRuns{nb: nb, res: make([]baseline.Result, runs+1)}
 		for rep := 0; rep <= runs; rep++ {
-			res := lib.Run(baseline.Request{
-				Routine:   r,
-				N:         n,
-				NB:        nb,
-				Scenario:  cfg.Scenario,
-				NoiseAmp:  cfg.NoiseAmp,
-				NoiseSeed: int64(rep)*7919 + int64(n) + int64(nb),
-			})
+			tr.res[rep] = runRep(cfg, lib, r, n, nb, rep)
+			tr.upTo = rep + 1
+			if tr.res[rep].Err != nil {
+				break
+			}
+		}
+		out[ti] = tr
+	}
+	return out
+}
+
+// reducePoint folds per-tile results into the best-tile Point. It is the
+// single reduction used by the sequential and parallel paths, which is what
+// makes their outputs bit-identical: tiles are considered in candidate
+// order and samples in repetition order, exactly as the sequential loop
+// measured them. When every tile fails, the returned point carries the last
+// error tagged with its tile size.
+func reducePoint(lib baseline.Library, r blasops.Routine, n int, tiles []tileRuns) Point {
+	best := Point{Lib: lib.Name(), Routine: r, N: n, Err: fmt.Errorf("no feasible tile size")}
+	var lastErr error
+	lastNB := 0
+	for _, tr := range tiles {
+		var samples []float64
+		var failed error
+		for rep := 0; rep < tr.upTo; rep++ {
+			res := tr.res[rep]
 			if res.Err != nil {
-				lastErr = res.Err
+				failed = res.Err
 				break
 			}
 			if rep == 0 {
@@ -129,42 +212,88 @@ func MeasurePoint(cfg Config, lib baseline.Library, r blasops.Routine, n int) Po
 			}
 			samples = append(samples, res.GFlops)
 		}
-		if lastErr != nil {
-			if best.Err != nil {
-				best.Err = lastErr
-			}
+		if failed != nil {
+			lastErr = failed
+			lastNB = tr.nb
 			continue
 		}
 		mean, ci := meanCI(samples)
 		if best.Err != nil || mean > best.GFlops {
-			best = Point{Lib: lib.Name(), Routine: r, N: n, NB: nb,
+			best = Point{Lib: lib.Name(), Routine: r, N: n, NB: tr.nb,
 				GFlops: mean, CI95: ci, Runs: len(samples)}
 		}
+	}
+	if best.Err != nil && lastErr != nil {
+		best.Err = fmt.Errorf("no feasible tile size (last attempt nb=%d: %w)", lastNB, lastErr)
 	}
 	return best
 }
 
-// RunSweep measures every combination in the config.
-func RunSweep(cfg Config) []Point {
-	var out []Point
+// MeasurePoint measures one (lib, routine, N) with best-tile selection.
+// With cfg.Parallel > 1 the per-tile/per-repetition simulations run on a
+// bounded worker pool; the result is bit-identical to the sequential path.
+func MeasurePoint(cfg Config, lib baseline.Library, r blasops.Routine, n int) Point {
+	tiles := feasibleTiles(cfg, lib, n)
+	var trs []tileRuns
+	if cfg.Parallel > 1 {
+		trs = measureTilesParallel(cfg, lib, r, n, tiles)
+	} else {
+		trs = measureTilesSequential(cfg, lib, r, n, tiles)
+	}
+	return reducePoint(lib, r, n, trs)
+}
+
+// sweepPlan is one (routine, library, size) work unit of a sweep, in the
+// deterministic order of the sequential loop.
+type sweepPlan struct {
+	lib baseline.Library
+	r   blasops.Routine
+	n   int
+}
+
+// sweepPlans enumerates the sweep's points in sequential order.
+func sweepPlans(cfg Config) []sweepPlan {
+	var plans []sweepPlan
 	for _, r := range cfg.Routines {
 		for _, lib := range cfg.Libs {
 			if !lib.Supports(r) {
 				continue
 			}
 			for _, n := range cfg.Sizes {
-				p := MeasurePoint(cfg, lib, r, n)
-				out = append(out, p)
-				if cfg.Progress != nil {
-					if p.Err != nil {
-						fmt.Fprintf(cfg.Progress, "%-8s %-28s N=%-6d ERROR: %v\n", r, p.Lib, n, p.Err)
-					} else {
-						fmt.Fprintf(cfg.Progress, "%-8s %-28s N=%-6d %9.1f ±%6.1f GF/s (nb=%d)\n",
-							r, p.Lib, n, p.GFlops, p.CI95, p.NB)
-					}
-				}
+				plans = append(plans, sweepPlan{lib: lib, r: r, n: n})
 			}
 		}
+	}
+	return plans
+}
+
+// progressLine emits the one-line report of a completed point.
+func progressLine(w io.Writer, p Point) {
+	if w == nil {
+		return
+	}
+	if p.Err != nil {
+		fmt.Fprintf(w, "%-8s %-28s N=%-6d ERROR: %v\n", p.Routine, p.Lib, p.N, p.Err)
+	} else {
+		fmt.Fprintf(w, "%-8s %-28s N=%-6d %9.1f ±%6.1f GF/s (nb=%d)\n",
+			p.Routine, p.Lib, p.N, p.GFlops, p.CI95, p.NB)
+	}
+}
+
+// RunSweep measures every combination in the config. With cfg.Parallel > 1
+// the independent simulations fan out across a bounded worker pool; points
+// and Progress lines are assembled in the same deterministic order as the
+// sequential loop and are bit-identical to it.
+func RunSweep(cfg Config) []Point {
+	if cfg.Parallel > 1 {
+		return runSweepParallel(cfg)
+	}
+	plans := sweepPlans(cfg)
+	out := make([]Point, 0, len(plans))
+	for _, pl := range plans {
+		p := MeasurePoint(cfg, pl.lib, pl.r, pl.n)
+		out = append(out, p)
+		progressLine(cfg.Progress, p)
 	}
 	return out
 }

@@ -32,13 +32,15 @@ func Roster() []baseline.Library {
 }
 
 // sweepDefaults fills common knobs: paper-or-quick sizes, 3 runs quick / 8
-// full, extended tiles for the host-only libraries.
+// full, extended tiles for the host-only libraries, and the process-wide
+// run parallelism.
 func sweepDefaults(quick bool) Config {
 	cfg := Config{
 		Tiles:          DefaultTiles(),
 		ExtraTilesFor:  map[string]bool{"cuBLAS-XT": true, "Slate": true},
 		NoiseAmp:       0.02,
 		MaxTilesPerDim: 40,
+		Parallel:       DefaultParallelism,
 	}
 	if quick {
 		cfg.Sizes = QuickSizes()

@@ -30,7 +30,7 @@ func Scalability(w io.Writer, quick bool) {
 	fmt.Fprintf(w, "%-6s %14s %14s %10s\n", "GPUs", "XKBlas GF/s", "cuBLAS-XT GF/s", "speedup")
 	for g := 1; g <= 8; g++ {
 		plat := topology.DGX1WithGPUs(g)
-		cfg := Config{Tiles: []int{2048, 4096}, Runs: runs, NoiseAmp: 0.02}
+		cfg := Config{Tiles: []int{2048, 4096}, Runs: runs, NoiseAmp: 0.02, Parallel: DefaultParallelism}
 		xk := measureOn(cfg, baseline.XKBlas(), blasops.Gemm, n, plat)
 		xt := measureOn(cfg, baseline.CuBLASXT(), blasops.Gemm, n, plat)
 		ratio := 0.0
@@ -41,22 +41,49 @@ func Scalability(w io.Writer, quick bool) {
 	}
 }
 
-// measureOn runs a best-tile measurement on an explicit platform.
+// measureOn runs a best-tile measurement on an explicit platform. With
+// cfg.Parallel > 1 the (tile, repetition) runs execute concurrently —
+// topology platforms are read-only during runs, so sharing one across
+// simulations is safe — and are reduced in sequential order, keeping the
+// result bit-identical to a sequential measurement.
 func measureOn(cfg Config, lib baseline.Library, r blasops.Routine, n int, plat *topology.Platform) float64 {
+	grid := make([][]baseline.Result, len(cfg.Tiles))
+	runOne := func(ti, rep int) {
+		grid[ti][rep-1] = lib.Run(baseline.Request{
+			Routine: r, N: n, NB: cfg.Tiles[ti], Platform: plat,
+			NoiseAmp: cfg.NoiseAmp, NoiseSeed: int64(rep) * 131,
+		})
+	}
+	if cfg.Parallel > 1 {
+		pool := newWorkerPool(cfg.Parallel)
+		for ti := range cfg.Tiles {
+			grid[ti] = make([]baseline.Result, cfg.Runs)
+			for rep := 1; rep <= cfg.Runs; rep++ {
+				pool.Submit(func() { runOne(ti, rep) })
+			}
+		}
+		pool.Wait()
+	} else {
+		for ti := range cfg.Tiles {
+			grid[ti] = make([]baseline.Result, cfg.Runs)
+			for rep := 1; rep <= cfg.Runs; rep++ {
+				runOne(ti, rep)
+				if grid[ti][rep-1].Err != nil {
+					break
+				}
+			}
+		}
+	}
 	best := 0.0
-	for _, nb := range cfg.Tiles {
+	for ti := range cfg.Tiles {
 		var sum float64
 		count := 0
-		for rep := 1; rep <= cfg.Runs; rep++ {
-			res := lib.Run(baseline.Request{
-				Routine: r, N: n, NB: nb, Platform: plat,
-				NoiseAmp: cfg.NoiseAmp, NoiseSeed: int64(rep) * 131,
-			})
-			if res.Err != nil {
+		for rep := 0; rep < cfg.Runs; rep++ {
+			if grid[ti][rep].Err != nil {
 				count = 0
 				break
 			}
-			sum += res.GFlops
+			sum += grid[ti][rep].GFlops
 			count++
 		}
 		if count > 0 && sum/float64(count) > best {
@@ -82,7 +109,7 @@ func SummitPrediction(w io.Writer, quick bool) {
 	}
 	fmt.Fprintf(w, "Extension — heuristic gains by platform (DGEMM N=%d, vs no-heuristic-no-topo)\n", n)
 	fmt.Fprintf(w, "%-34s %12s %12s %12s\n", "platform", "full GF/s", "ablated GF/s", "total gain")
-	cfg := Config{Tiles: []int{2048}, Runs: runs, NoiseAmp: 0.02}
+	cfg := Config{Tiles: []int{2048}, Runs: runs, NoiseAmp: 0.02, Parallel: DefaultParallelism}
 	for _, pc := range []struct {
 		name string
 		plat *topology.Platform

@@ -14,10 +14,40 @@ package hostblas
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"xkblas/internal/blasops"
 	"xkblas/internal/matrix"
 )
+
+// GEMM is the dominant functional-mode kernel (every tiled algorithm lowers
+// most of its flops onto it), so it alone is parallelised: the output
+// columns are block-partitioned across goroutines. Each goroutine owns a
+// disjoint column range of C and executes the identical per-column loops,
+// so the result is bit-identical to the sequential kernel regardless of the
+// worker count.
+
+// gemmParallelMinFlops is the fused-multiply-add count below which the
+// goroutine fan-out costs more than it saves and Gemm stays sequential.
+const gemmParallelMinFlops = 1 << 20
+
+// gemmWorkers holds the configured worker count; 0 selects GOMAXPROCS.
+var gemmWorkers atomic.Int32
+
+// SetParallelism sets the number of goroutines Gemm may use: n ≤ 1 forces
+// the sequential kernel (tests use this), 0 restores the GOMAXPROCS
+// default. The result is bit-identical at every setting.
+func SetParallelism(n int) { gemmWorkers.Store(int32(n)) }
+
+// Parallelism reports the effective Gemm worker count.
+func Parallelism() int {
+	if n := int(gemmWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 type (
 	// Trans etc. are re-exported aliases so kernel code reads naturally.
@@ -133,7 +163,33 @@ func Gemm(ta, tb Trans, alpha float64, a, b matrix.View, beta float64, c matrix.
 	if alpha == 0 {
 		return
 	}
-	for j := 0; j < n; j++ {
+	workers := Parallelism()
+	if workers > 1 && int64(m)*int64(n)*int64(k) >= gemmParallelMinFlops {
+		if workers > n {
+			workers = n
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			j0 := n * w / workers
+			j1 := n * (w + 1) / workers
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				gemmCols(ta, tb, alpha, a, b, c, j0, j1, m, k)
+			}()
+		}
+		wg.Wait()
+		return
+	}
+	gemmCols(ta, tb, alpha, a, b, c, 0, n, m, k)
+}
+
+// gemmCols accumulates alpha·op(A)·op(B) into columns [j0,j1) of C. It is
+// the per-column body shared by the sequential and parallel paths: each
+// column's arithmetic is independent of the partition, which is what keeps
+// parallel results bit-identical.
+func gemmCols(ta, tb Trans, alpha float64, a, b, c matrix.View, j0, j1, m, k int) {
+	for j := j0; j < j1; j++ {
 		for l := 0; l < k; l++ {
 			blj := alpha * opAt(tb, b, l, j)
 			if blj == 0 {

@@ -1,0 +1,112 @@
+package hostblas
+
+import (
+	"math/rand"
+	"testing"
+
+	"xkblas/internal/matrix"
+)
+
+// gemmCase builds random operands big enough to cross the parallel
+// threshold (m·n·k ≥ 2^20).
+func gemmCase(rng *rand.Rand, m, n, k int) (a, b, c matrix.View) {
+	a = matrix.New(m, k)
+	b = matrix.New(k, n)
+	c = matrix.New(m, n)
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	c.FillRandom(rng)
+	return a, b, c
+}
+
+// TestGemmParallelBitIdentical proves the block-partitioned kernel returns
+// exactly the sequential result at several worker counts, for both
+// transpose settings.
+func TestGemmParallelBitIdentical(t *testing.T) {
+	defer SetParallelism(0)
+	rng := rand.New(rand.NewSource(42))
+	const m, n, k = 128, 96, 128 // 1.5M fused ops: above the threshold
+	for _, ta := range []Trans{NoTrans, Transpose} {
+		for _, tb := range []Trans{NoTrans, Transpose} {
+			a, b, c := gemmCase(rng, m, n, k)
+			if ta == Transpose {
+				a = matrix.New(k, m)
+				a.FillRandom(rng)
+			}
+			if tb == Transpose {
+				b = matrix.New(n, k)
+				b.FillRandom(rng)
+			}
+			SetParallelism(1)
+			want := c.Clone()
+			Gemm(ta, tb, 1.25, a, b, 0.5, want)
+			for _, workers := range []int{2, 3, 8, 17} {
+				SetParallelism(workers)
+				got := c.Clone()
+				Gemm(ta, tb, 1.25, a, b, 0.5, got)
+				for j := 0; j < n; j++ {
+					for i := 0; i < m; i++ {
+						if got.At(i, j) != want.At(i, j) {
+							t.Fatalf("ta=%v tb=%v workers=%d: C[%d,%d] = %v, want %v (bit-exact)",
+								ta, tb, workers, i, j, got.At(i, j), want.At(i, j))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGemmParallelismKnob checks the gating knob semantics.
+func TestGemmParallelismKnob(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(1)
+	if Parallelism() != 1 {
+		t.Fatalf("forced sequential, Parallelism() = %d", Parallelism())
+	}
+	SetParallelism(7)
+	if Parallelism() != 7 {
+		t.Fatalf("Parallelism() = %d, want 7", Parallelism())
+	}
+	SetParallelism(0)
+	if Parallelism() < 1 {
+		t.Fatalf("default Parallelism() = %d, want ≥ 1", Parallelism())
+	}
+}
+
+// TestGemmSmallStaysCorrectUnderKnob covers sub-threshold sizes (always
+// sequential) with the knob set high.
+func TestGemmSmallStaysCorrectUnderKnob(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(16)
+	rng := rand.New(rand.NewSource(7))
+	a, b, c := gemmCase(rng, 5, 4, 3)
+	want := c.Clone()
+	SetParallelism(1)
+	Gemm(NoTrans, NoTrans, 2, a, b, 1, want)
+	SetParallelism(16)
+	Gemm(NoTrans, NoTrans, 2, a, b, 1, c)
+	for j := 0; j < 4; j++ {
+		for i := 0; i < 5; i++ {
+			if c.At(i, j) != want.At(i, j) {
+				t.Fatalf("small gemm diverges at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func benchmarkGemm(b *testing.B, workers int) {
+	defer SetParallelism(0)
+	SetParallelism(workers)
+	rng := rand.New(rand.NewSource(1))
+	const dim = 256
+	a, bb, c := gemmCase(rng, dim, dim, dim)
+	b.SetBytes(int64(dim) * dim * dim * 2 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemm(NoTrans, NoTrans, 1, a, bb, 1, c)
+	}
+}
+
+func BenchmarkGemmSequential(b *testing.B) { benchmarkGemm(b, 1) }
+func BenchmarkGemmParallel(b *testing.B)   { benchmarkGemm(b, 0) }
