@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check bench verify experiments experiments-quick examples fmt vet clean
+.PHONY: all build test race check bench verify experiments experiments-quick examples fmt fmtcheck vet clean
 
 all: check
 
@@ -18,8 +18,8 @@ test:
 race:
 	$(GO) test -race ./internal/bench/... ./internal/sim/... ./internal/hostblas/...
 
-# Default verification gate: build, tests, race pass.
-check: build test race
+# Default verification gate: build, vet, formatting, tests, race pass.
+check: build vet fmtcheck test race
 
 # One testing.B benchmark per paper table/figure plus the ablations.
 bench:
@@ -46,6 +46,11 @@ examples:
 
 fmt:
 	gofmt -w .
+
+# Fails (listing the offending files) when any file is not gofmt-clean.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...

@@ -45,6 +45,8 @@ func main() {
 	runs := flag.Int("runs", 3, "custom sweep: measured repetitions")
 	dod := flag.Bool("dod", false, "custom sweep: data-on-device scenario")
 	plot := flag.Bool("plot", false, "render sweep results as ASCII TFlop/s-vs-N charts")
+	decisions := flag.Bool("decisions", false,
+		"print the policy-decision counters (transfer sources by link class, optimistic chains, evictions, steals) of each sweep point")
 	parallel := flag.Int("parallel", runtime.NumCPU(),
 		"worker goroutines for independent simulated runs (1 = sequential; results are bit-identical at any level)")
 	flag.Parse()
@@ -114,6 +116,15 @@ func main() {
 		fmt.Fprintln(w)
 		if err := bench.PlotSweep(w, points, 90, 18); err != nil {
 			fmt.Fprintf(os.Stderr, "plot: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *decisions && len(points) > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "Policy decision counters (best tile, first measured run):")
+		if err := bench.WriteDecisions(w, points); err != nil {
+			fmt.Fprintf(os.Stderr, "decisions: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -67,11 +67,12 @@ func main() {
 	}
 	fmt.Printf("%s %s N=%d nb=%d (%s): %.3fs virtual, %.1f GFlop/s\n",
 		lib.Name(), r, *n, *nb, req.Scenario, float64(res.Elapsed), res.GFlops)
-	fmt.Printf("traffic: H2D %.2f GB (%d), D2H %.2f GB (%d), P2P %.2f GB (%d), evictions %d\n\n",
+	fmt.Printf("traffic: H2D %.2f GB (%d), D2H %.2f GB (%d), P2P %.2f GB (%d), evictions %d\n",
 		float64(res.Cache.H2DBytes)/1e9, res.Cache.H2DCount,
 		float64(res.Cache.D2HBytes)/1e9, res.Cache.D2HCount,
 		float64(res.Cache.P2PBytes)/1e9, res.Cache.P2PCount,
 		res.Cache.Evictions)
+	fmt.Printf("decisions: %s\n\n", res.Rec.Decisions)
 
 	fmt.Println("Cumulative GPU time by operation kind (Fig. 6 style):")
 	cum := res.Rec.CumulativeByKind()

@@ -21,6 +21,7 @@ import (
 	"xkblas/internal/core"
 	"xkblas/internal/device"
 	"xkblas/internal/matrix"
+	"xkblas/internal/policy"
 	"xkblas/internal/sim"
 	"xkblas/internal/topology"
 	"xkblas/internal/trace"
@@ -74,7 +75,10 @@ type Result struct {
 	GFlops  float64
 	Rec     *trace.Recorder
 	Cache   cache.Stats
-	Err     error
+	// Decisions counts the policy-layer choices (transfer sources by link
+	// class, optimistic chains, evictions, steals) taken during the run.
+	Decisions policy.Decisions
+	Err       error
 }
 
 // Library is a multi-GPU BLAS implementation under test.
@@ -194,11 +198,15 @@ func runStandard(h *core.Handle, req Request, rec *trace.Recorder) (res Result) 
 	}
 	end := h.Sync()
 	el := end - t0
+	if rec != nil {
+		rec.Decisions = h.RT.Decisions()
+	}
 	return Result{
-		Elapsed: el,
-		GFlops:  gflops(req.Routine, req.N, el),
-		Rec:     rec,
-		Cache:   h.RT.Cache.Stats(),
+		Elapsed:   el,
+		GFlops:    gflops(req.Routine, req.N, el),
+		Rec:       rec,
+		Cache:     h.RT.Cache.Stats(),
+		Decisions: h.RT.Decisions(),
 	}
 }
 
@@ -311,5 +319,9 @@ func (l *StdLib) RunComposition(req Request) (res Result) {
 	if el > 0 {
 		gf = flops / float64(el) / 1e9
 	}
-	return Result{Elapsed: el, GFlops: gf, Rec: rec, Cache: h.RT.Cache.Stats()}
+	if rec != nil {
+		rec.Decisions = h.RT.Decisions()
+	}
+	return Result{Elapsed: el, GFlops: gf, Rec: rec, Cache: h.RT.Cache.Stats(),
+		Decisions: h.RT.Decisions()}
 }

@@ -6,6 +6,7 @@ import (
 	"xkblas/internal/blasops"
 	"xkblas/internal/core"
 	"xkblas/internal/matrix"
+	"xkblas/internal/policy"
 	"xkblas/internal/xkrt"
 )
 
@@ -31,10 +32,12 @@ func (l cublasMGLib) Run(req Request) (res Result) {
 	// Peer transfers between the block-cyclic homes use NVLink when
 	// available but without topology ranking or forwarding heuristics.
 	h := newHandle(req, xkrt.Options{
-		TopoAware:  false,
-		Optimistic: false,
-		Window:     3,
-		Scheduler:  xkrt.WorkStealing,
+		Window: 3,
+		Policy: &policy.Bundle{
+			Source:    policy.LowestID{},
+			Scheduler: policy.WorkStealing{},
+			Evictor:   policy.LRUReadOnlyFirst{},
+		},
 	})
 	rec := attachTrace(h, req)
 	defer func() {
@@ -73,10 +76,14 @@ func (l cublasMGLib) Run(req Request) (res Result) {
 	}
 	end := h.Sync()
 	el := end - t0
+	if rec != nil {
+		rec.Decisions = h.RT.Decisions()
+	}
 	return Result{
-		Elapsed: el,
-		GFlops:  gflops(blasops.Gemm, req.N, el),
-		Rec:     rec,
-		Cache:   h.RT.Cache.Stats(),
+		Elapsed:   el,
+		GFlops:    gflops(blasops.Gemm, req.N, el),
+		Rec:       rec,
+		Cache:     h.RT.Cache.Stats(),
+		Decisions: h.RT.Decisions(),
 	}
 }

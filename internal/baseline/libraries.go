@@ -2,27 +2,35 @@ package baseline
 
 import (
 	"xkblas/internal/blasops"
+	"xkblas/internal/policy"
 	"xkblas/internal/xkrt"
 )
 
 // The library roster of Fig. 5. Public-code routine coverage follows the
 // paper: BLASX and DPLASMA expose GEMM only, cuBLAS-MG only implements
 // GEMM, the rest cover all six.
+//
+// Each library is a declarative policy bundle — one value per decision axis
+// (transfer source, scheduler, eviction) — plus the mechanism knobs the
+// runtime keeps (pipeline window, owner grid). The bundles are immutable
+// and shared across the concurrent runs of a sweep.
 
 var allSix = blasops.All()
 var gemmOnly = []blasops.Routine{blasops.Gemm}
 
-// XKBlas returns the full library: both heuristics on, XKaapi work stealing
-// with locality, deep pipeline.
+// XKBlas returns the full library: topology-ranked sources with optimistic
+// device-to-device forwarding over XKaapi work stealing, deep pipeline.
 func XKBlas() Library {
 	return &StdLib{
 		LibName:  "XKBlas",
 		Routines: allSix,
 		Opts: xkrt.Options{
-			TopoAware:  true,
-			Optimistic: true,
-			Window:     4,
-			Scheduler:  xkrt.WorkStealing,
+			Window: 4,
+			Policy: &policy.Bundle{
+				Source:    policy.Optimistic{Base: policy.TopoRank{}, Ranked: true},
+				Scheduler: policy.WorkStealing{},
+				Evictor:   policy.LRUReadOnlyFirst{},
+			},
 		},
 	}
 }
@@ -34,10 +42,12 @@ func XKBlasNoHeuristic() Library {
 		LibName:  "XKBlas, no heuristic",
 		Routines: allSix,
 		Opts: xkrt.Options{
-			TopoAware:  true,
-			Optimistic: false,
-			Window:     4,
-			Scheduler:  xkrt.WorkStealing,
+			Window: 4,
+			Policy: &policy.Bundle{
+				Source:    policy.TopoRank{},
+				Scheduler: policy.WorkStealing{},
+				Evictor:   policy.LRUReadOnlyFirst{},
+			},
 		},
 	}
 }
@@ -50,53 +60,54 @@ func XKBlasNoHeuristicNoTopo() Library {
 		LibName:  "XKBlas, no heuristic, no topo",
 		Routines: allSix,
 		Opts: xkrt.Options{
-			TopoAware:  false,
-			Optimistic: false,
-			Window:     4,
-			Scheduler:  xkrt.WorkStealing,
+			Window: 4,
+			Policy: &policy.Bundle{
+				Source:    policy.LowestID{},
+				Scheduler: policy.WorkStealing{},
+				Evictor:   policy.LRUReadOnlyFirst{},
+			},
 		},
 	}
 }
 
 // CuBLASXT models cuBLAS-XT: synchronous per-call semantics, all traffic
-// through the host PCIe links (no peer transfers), shallow stream
-// pipelining. Its composition semantics round-trip results between calls.
+// through the host PCIe links (no peer transfers), static round-robin tile
+// assignment with no dynamic migration, streaming eviction (operand tiles
+// pipe through fixed staging buffers, so every tile read crosses PCIe again
+// — the HtoD-dominated profile of Fig. 6), shallow stream pipelining. Its
+// composition semantics round-trip results between calls.
 func CuBLASXT() Library {
 	return &StdLib{
 		LibName:  "cuBLAS-XT",
 		Routines: allSix,
 		Opts: xkrt.Options{
-			TopoAware:  false,
-			Optimistic: false,
-			Window:     2,
-			Scheduler:  xkrt.WorkStealing,
-			Sources:    xkrt.SourceHostOnly,
-			// Static round-robin tile assignment: no dynamic migration.
-			NoSteal: true,
-			// cuBLAS-XT streams operand tiles through fixed staging
-			// buffers: nothing is cached across products, so every tile
-			// read crosses PCIe again — the HtoD-dominated profile of
-			// Fig. 6.
-			EvictAfterUse: true,
+			Window: 2,
+			Policy: &policy.Bundle{
+				Source:    policy.HostOnly{},
+				Scheduler: policy.WorkStealing{NoSteal: true},
+				Evictor:   policy.Streaming{},
+			},
 		},
 		InterCallBarrier: true,
 	}
 }
 
-// ChameleonTile models Chameleon 1.0 over StarPU 1.3.5 with the DMDAS
-// scheduler and tile storage: peer transfers allowed (any valid source, no
-// topology ranking), no optimistic forwarding, two workers per CUDA device
-// (§IV-A). Composition suffers the coherency synchronisation of Fig. 9.
+// chameleonBundle is the Chameleon 1.0 / StarPU 1.3.5 policy: DMDAS
+// data-aware sorted scheduling, peer transfers allowed (any valid source,
+// no topology ranking), no optimistic forwarding (§IV-A).
+var chameleonBundle = policy.Bundle{
+	Source:    policy.LowestID{},
+	Scheduler: policy.DMDAS{},
+	Evictor:   policy.LRUReadOnlyFirst{},
+}
+
+// ChameleonTile models Chameleon over StarPU with tile storage. Composition
+// suffers the coherency synchronisation of Fig. 9.
 func ChameleonTile() Library {
 	return &StdLib{
-		LibName:  "Chameleon Tile",
-		Routines: allSix,
-		Opts: xkrt.Options{
-			TopoAware:  false,
-			Optimistic: false,
-			Window:     2,
-			Scheduler:  xkrt.DMDAS,
-		},
+		LibName:          "Chameleon Tile",
+		Routines:         allSix,
+		Opts:             xkrt.Options{Window: 2, Policy: &chameleonBundle},
 		InterCallBarrier: true,
 	}
 }
@@ -106,14 +117,9 @@ func ChameleonTile() Library {
 // reports for this variant (§IV-D).
 func ChameleonLAPACK() Library {
 	return &StdLib{
-		LibName:  "Chameleon LAPACK",
-		Routines: allSix,
-		Opts: xkrt.Options{
-			TopoAware:  false,
-			Optimistic: false,
-			Window:     2,
-			Scheduler:  xkrt.DMDAS,
-		},
+		LibName:          "Chameleon LAPACK",
+		Routines:         allSix,
+		Opts:             xkrt.Options{Window: 2, Policy: &chameleonBundle},
 		ConvertGBs:       8, // single-socket repack bandwidth
 		InterCallBarrier: true,
 	}
@@ -128,11 +134,12 @@ func BLASX() Library {
 		LibName:  "BLASX",
 		Routines: gemmOnly,
 		Opts: xkrt.Options{
-			TopoAware:  false,
-			Optimistic: false,
-			Window:     3,
-			Scheduler:  xkrt.WorkStealing,
-			Sources:    xkrt.SourceSameSwitch,
+			Window: 3,
+			Policy: &policy.Bundle{
+				Source:    policy.SameSwitch{Base: policy.LowestID{}},
+				Scheduler: policy.WorkStealing{},
+				Evictor:   policy.LRUReadOnlyFirst{},
+			},
 		},
 		MemReserve: 0.45,
 	}
@@ -145,10 +152,12 @@ func DPLASMA() Library {
 		LibName:  "DPLASMA",
 		Routines: gemmOnly,
 		Opts: xkrt.Options{
-			TopoAware:  false,
-			Optimistic: false,
-			Window:     3,
-			Scheduler:  xkrt.DMDAS,
+			Window: 3,
+			Policy: &policy.Bundle{
+				Source:    policy.LowestID{},
+				Scheduler: policy.DMDAS{},
+				Evictor:   policy.LRUReadOnlyFirst{},
+			},
 		},
 	}
 }

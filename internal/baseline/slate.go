@@ -5,6 +5,7 @@ import (
 
 	"xkblas/internal/blasops"
 	"xkblas/internal/matrix"
+	"xkblas/internal/policy"
 	"xkblas/internal/xkrt"
 )
 
@@ -32,12 +33,12 @@ func Slate() Library {
 
 func slateOpts() xkrt.Options {
 	return xkrt.Options{
-		TopoAware:  false,
-		Optimistic: false,
-		Window:     2,
-		Scheduler:  xkrt.WorkStealing,
-		Sources:    xkrt.SourceHostOnly, // all traffic over PCIe
-		NoSteal:    true,                // fixed 2D distribution, no migration
+		Window: 2,
+		Policy: &policy.Bundle{
+			Source:    policy.HostOnly{},                  // all traffic over PCIe
+			Scheduler: policy.WorkStealing{NoSteal: true}, // fixed 2D distribution
+			Evictor:   policy.LRUReadOnlyFirst{},
+		},
 	}
 }
 
@@ -114,11 +115,15 @@ func (l *slateLib) Run(req Request) (res Result) {
 	}
 	end := h.Sync()
 	el := end - t0
+	if rec != nil {
+		rec.Decisions = h.RT.Decisions()
+	}
 	return Result{
-		Elapsed: el,
-		GFlops:  gflops(blasops.Gemm, req.N, el),
-		Rec:     rec,
-		Cache:   h.RT.Cache.Stats(),
+		Elapsed:   el,
+		GFlops:    gflops(blasops.Gemm, req.N, el),
+		Rec:       rec,
+		Cache:     h.RT.Cache.Stats(),
+		Decisions: h.RT.Decisions(),
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"xkblas/internal/baseline"
 	"xkblas/internal/blasops"
+	"xkblas/internal/policy"
 	"xkblas/internal/sim"
 )
 
@@ -26,7 +27,11 @@ type Point struct {
 	GFlops  float64
 	CI95    float64 // half-width of the 95% confidence interval, GFlop/s
 	Runs    int
-	Err     error
+	// Decisions holds the policy-decision counters of the best tile's first
+	// measured repetition — the counted choices (transfer sources by link
+	// class, optimistic chains, evictions, steals) behind the GFlops number.
+	Decisions policy.Decisions
+	Err       error
 }
 
 // Config drives a sweep.
@@ -220,7 +225,10 @@ func reducePoint(lib baseline.Library, r blasops.Routine, n int, tiles []tileRun
 		mean, ci := meanCI(samples)
 		if best.Err != nil || mean > best.GFlops {
 			best = Point{Lib: lib.Name(), Routine: r, N: n, NB: tr.nb,
-				GFlops: mean, CI95: ci, Runs: len(samples)}
+				GFlops: mean, CI95: ci, Runs: len(samples),
+				// First measured repetition: deterministic for a given
+				// config, so sequential and parallel sweeps agree.
+				Decisions: tr.res[1].Decisions}
 		}
 	}
 	if best.Err != nil && lastErr != nil {
@@ -321,6 +329,44 @@ func WriteCSV(w io.Writer, points []Point) error {
 		}
 		if _, err := fmt.Fprintf(w, "%s,%q,%d,%d,%.2f,%.2f,%d,%q\n",
 			p.Routine, p.Lib, p.N, p.NB, p.GFlops, p.CI95, p.Runs, errStr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDecisions renders the policy-decision counters of each point as a
+// table: transfers by link class, optimistic-chain outcomes, evictions and
+// scheduling outcomes. Points are ordered like WriteCSV; failed points are
+// skipped (they have no counters).
+func WriteDecisions(w io.Writer, points []Point) error {
+	sorted := append([]Point{}, points...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Routine != b.Routine {
+			return a.Routine < b.Routine
+		}
+		if a.Lib != b.Lib {
+			return a.Lib < b.Lib
+		}
+		return a.N < b.N
+	})
+	if _, err := fmt.Fprintf(w, "%-8s %-28s %-7s %-6s %8s %8s %8s %8s %8s %8s %8s %8s %8s %8s\n",
+		"routine", "library", "n", "nb",
+		"nv2", "nv1", "pcie", "host", "chain+", "chain-", "evict", "dirtysk", "owner", "steal"); err != nil {
+		return err
+	}
+	for _, p := range sorted {
+		if p.Err != nil {
+			continue
+		}
+		d := p.Decisions
+		if _, err := fmt.Fprintf(w, "%-8s %-28s %-7d %-6d %8d %8d %8d %8d %8d %8d %8d %8d %8d %8d\n",
+			p.Routine, p.Lib, p.N, p.NB,
+			d.SrcNVLink2, d.SrcNVLink1, d.SrcPCIeP2P, d.SrcHost,
+			d.ChainsTaken, d.ChainsMissed,
+			d.EvictClean, d.EvictDirtySkipped,
+			d.OwnerHits, d.Steals); err != nil {
 			return err
 		}
 	}

@@ -19,6 +19,7 @@ import (
 
 	"xkblas/internal/device"
 	"xkblas/internal/matrix"
+	"xkblas/internal/policy"
 	"xkblas/internal/sim"
 	"xkblas/internal/topology"
 )
@@ -121,6 +122,13 @@ type Cache struct {
 	Functional bool
 	Observer   Observer
 
+	// Evictor decides which replicas leave device memory; nil behaves as
+	// policy.LRUReadOnlyFirst (XKaapi's default).
+	Evictor policy.Evictor
+
+	// Decisions, when non-nil, receives the eviction decision counters.
+	Decisions *policy.Decisions
+
 	nextMat MatrixID
 	lru     []*list.List // per device
 	stats   Stats
@@ -129,7 +137,7 @@ type Cache struct {
 // New creates a cache over a simulated platform. functional selects whether
 // tile payloads carry real data.
 func New(plat *device.Platform, functional bool) *Cache {
-	c := &Cache{Plat: plat, Functional: functional}
+	c := &Cache{Plat: plat, Functional: functional, Evictor: policy.LRUReadOnlyFirst{}}
 	for range plat.GPUs {
 		c.lru = append(c.lru, list.New())
 	}
@@ -223,6 +231,18 @@ func (t *Tile) InflightTo(dev topology.DeviceID) bool {
 	return ok
 }
 
+// SizeBytes implements policy.TileView.
+func (t *Tile) SizeBytes() int64 { return t.Bytes }
+
+// HomeOwner implements policy.TileView: the owner-computes home device.
+func (t *Tile) HomeOwner() topology.DeviceID { return t.Owner }
+
+// SetHomeOwner implements policy.TileView.
+func (t *Tile) SetHomeOwner(dev topology.DeviceID) { t.Owner = dev }
+
+// Coords implements policy.TileView: the tile-grid position.
+func (t *Tile) Coords() (i, j int) { return t.Key.I, t.Key.J }
+
 // AddInflightWaiter registers fn to run when the pending transfer to dev
 // completes. It panics if no transfer to dev is in flight.
 func (t *Tile) AddInflightWaiter(dev topology.DeviceID, fn func()) {
@@ -293,19 +313,36 @@ func (c *Cache) ensureReplica(t *Tile, dev topology.DeviceID) (*replica, error) 
 	return r, nil
 }
 
-// evict frees at least need bytes on dev by dropping unpinned clean
-// replicas in LRU order. XKaapi's policy: read-only (clean) data first;
-// dirty replicas are never dropped silently (they hold the only copy).
+// evict frees at least need bytes on dev by walking replicas in LRU order
+// and consulting the eviction policy (default policy.LRUReadOnlyFirst:
+// read-only data first; dirty replicas are never dropped silently since
+// they hold the only copy).
 func (c *Cache) evict(dev topology.DeviceID, need int64) error {
 	pool := c.Plat.GPU(dev).Mem
 	l := c.lru[dev]
+	ev := c.evictor()
 	for e := l.Front(); e != nil && pool.Available() < need; {
 		next := e.Next()
 		ent := e.Value.(lruEntry)
-		r := ent.tile.reps[dev]
-		if r != nil && r.pins == 0 && !r.dirty && !ent.tile.InflightTo(dev) {
-			c.dropReplica(ent.tile, dev)
-			c.stats.Evictions++
+		if r := ent.tile.reps[dev]; r != nil {
+			cand := policy.EvictCandidate{
+				Dirty:    r.dirty,
+				Pinned:   r.pins > 0,
+				Inflight: ent.tile.InflightTo(dev),
+			}
+			if ev.ShouldEvict(cand) {
+				if cand.Dirty {
+					panic(fmt.Sprintf("cache: evictor %q would drop dirty replica %v@%d",
+						ev.Name(), ent.tile.Key, dev))
+				}
+				c.dropReplica(ent.tile, dev)
+				c.stats.Evictions++
+				if c.Decisions != nil {
+					c.Decisions.EvictClean++
+				}
+			} else if cand.Dirty && c.Decisions != nil {
+				c.Decisions.EvictDirtySkipped++
+			}
 		}
 		e = next
 	}
@@ -314,6 +351,14 @@ func (c *Cache) evict(dev topology.DeviceID, need int64) error {
 			need, dev, pool.Used(), pool.Capacity())
 	}
 	return nil
+}
+
+// evictor resolves the active eviction policy (nil → XKaapi default).
+func (c *Cache) evictor() policy.Evictor {
+	if c.Evictor == nil {
+		return policy.LRUReadOnlyFirst{}
+	}
+	return c.Evictor
 }
 
 // dropReplica removes the replica record and frees its memory.

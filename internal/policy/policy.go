@@ -1,0 +1,162 @@
+// Package policy is the pluggable decision layer of the runtime: which
+// replica a transfer reads from (SourceSelector), where a ready task runs
+// (Scheduler) and which replicas leave device memory (Evictor).
+//
+// The paper's whole claim structure is "same kernels, different
+// data-movement policy wins" (§III-B/§III-C versus the §II libraries), so
+// the policies are first-class named values instead of booleans smeared
+// across the runtime: XKBLAS is TopoRank+Optimistic over work stealing,
+// cuBLAS-XT is HostOnly over static dispatch with streaming eviction,
+// BLASX is SameSwitch, Chameleon/DPLASMA are DMDAS, and so on. Every
+// decision a policy takes is counted in Decisions, which makes the Fig. 3
+// and Fig. 6 differences explainable from counted choices rather than
+// only from aggregate times.
+//
+// Policy implementations are stateless, immutable values: one Bundle is
+// shared by every concurrent simulation of a benchmark sweep, so all
+// mutable state (ready queues, round-robin cursors, counters) lives in the
+// runtime and is reached through the SchedState/TileView interfaces.
+package policy
+
+import (
+	"fmt"
+
+	"xkblas/internal/topology"
+)
+
+// Decisions counts every choice the policy layer takes during one runtime's
+// lifetime. The counters explain *why* a configuration is fast or slow:
+// e.g. the Fig. 3 gap between XKBlas and its no-topo ablation shows up here
+// as peer traffic shifting from SrcNVLink2 to SrcPCIeP2P/SrcHost before it
+// shows up as lost GFlop/s.
+type Decisions struct {
+	// Transfer sources by link class of the chosen route (the ranking
+	// order of §III-B): double NVLink, single NVLink (or NVLink-to-host on
+	// POWER9 nodes), PCIe peer-to-peer, and host memory over PCIe.
+	SrcNVLink2 int64
+	SrcNVLink1 int64
+	SrcPCIeP2P int64
+	SrcHost    int64
+
+	// Optimistic-forwarding outcomes (§III-C): ChainsTaken counts fetches
+	// that chained onto an in-flight replica instead of re-reading host
+	// memory; ChainsMissed counts fetches where the heuristic looked for a
+	// chain but found no in-flight replica and fell back to the host.
+	ChainsTaken  int64
+	ChainsMissed int64
+
+	// Eviction outcomes: EvictClean counts clean replicas dropped by the
+	// capacity evictor; EvictDirtySkipped counts dirty replicas the
+	// eviction scan had to walk past (a dirty replica holds the only copy
+	// of its tile and is never dropped silently).
+	EvictClean        int64
+	EvictDirtySkipped int64
+
+	// Scheduling outcomes: OwnerHits counts tasks started on the device
+	// their mapping assigned them to; Steals counts tasks migrated to an
+	// idle device by work stealing.
+	OwnerHits int64
+	Steals    int64
+}
+
+// CountTransfer classifies the link a transfer src→dst was chosen to cross
+// and bumps the matching source counter.
+func (d *Decisions) CountTransfer(topo *topology.Platform, src, dst topology.DeviceID) {
+	if d == nil {
+		return
+	}
+	if src == topology.Host {
+		d.SrcHost++
+		return
+	}
+	switch topo.GPULink(src, dst).Kind {
+	case topology.LinkNVLink2:
+		d.SrcNVLink2++
+	case topology.LinkNVLink1, topology.LinkNVLinkHost:
+		d.SrcNVLink1++
+	default:
+		d.SrcPCIeP2P++
+	}
+}
+
+// Add accumulates other into d (aggregation across runs or devices).
+func (d *Decisions) Add(other Decisions) {
+	d.SrcNVLink2 += other.SrcNVLink2
+	d.SrcNVLink1 += other.SrcNVLink1
+	d.SrcPCIeP2P += other.SrcPCIeP2P
+	d.SrcHost += other.SrcHost
+	d.ChainsTaken += other.ChainsTaken
+	d.ChainsMissed += other.ChainsMissed
+	d.EvictClean += other.EvictClean
+	d.EvictDirtySkipped += other.EvictDirtySkipped
+	d.OwnerHits += other.OwnerHits
+	d.Steals += other.Steals
+}
+
+// Transfers reports the total number of counted transfer-source decisions.
+func (d Decisions) Transfers() int64 {
+	return d.SrcNVLink2 + d.SrcNVLink1 + d.SrcPCIeP2P + d.SrcHost
+}
+
+func (d Decisions) String() string {
+	return fmt.Sprintf(
+		"src{nv2:%d nv1:%d pcie:%d host:%d} chain{taken:%d missed:%d} evict{clean:%d dirty-skip:%d} sched{owner:%d steal:%d}",
+		d.SrcNVLink2, d.SrcNVLink1, d.SrcPCIeP2P, d.SrcHost,
+		d.ChainsTaken, d.ChainsMissed,
+		d.EvictClean, d.EvictDirtySkipped,
+		d.OwnerHits, d.Steals)
+}
+
+// TileView is the replica-placement view the policies consume: which
+// devices hold a valid copy, where the host copy stands, and which
+// transfers are in flight. *cache.Tile implements it.
+type TileView interface {
+	// ValidGPUs lists devices holding valid replicas in ascending id order.
+	ValidGPUs() []topology.DeviceID
+	// HostValid reports whether the host copy is current.
+	HostValid() bool
+	// DirtyOn reports the device holding the sole modified replica, or -1.
+	DirtyOn() topology.DeviceID
+	// InflightDsts lists devices with a replica under transfer, ascending.
+	InflightDsts() []topology.DeviceID
+	// ValidOn reports whether dev holds a valid replica.
+	ValidOn(dev topology.DeviceID) bool
+	// InflightTo reports whether a transfer to dev is in progress.
+	InflightTo(dev topology.DeviceID) bool
+	// SizeBytes reports the tile payload size.
+	SizeBytes() int64
+	// HomeOwner reports the owner-computes home device (-1 unassigned).
+	HomeOwner() topology.DeviceID
+	// SetHomeOwner records the owner-computes home device.
+	SetHomeOwner(dev topology.DeviceID)
+	// Coords reports the tile's (i, j) position in its matrix tile grid.
+	Coords() (i, j int)
+}
+
+// Bundle is a complete, declarative runtime policy: one value per decision
+// axis. Bundles are immutable and safe to share across concurrent
+// simulations; the baseline libraries are each expressed as one Bundle.
+type Bundle struct {
+	Source    SourceSelector
+	Scheduler Scheduler
+	Evictor   Evictor
+}
+
+// Validate reports a descriptive error when a bundle axis is missing.
+func (b Bundle) Validate() error {
+	if b.Source == nil {
+		return fmt.Errorf("policy: bundle has no SourceSelector")
+	}
+	if b.Scheduler == nil {
+		return fmt.Errorf("policy: bundle has no Scheduler")
+	}
+	if b.Evictor == nil {
+		return fmt.Errorf("policy: bundle has no Evictor")
+	}
+	return nil
+}
+
+// Name renders the bundle as "source/scheduler/evictor".
+func (b Bundle) Name() string {
+	return fmt.Sprintf("%s/%s/%s", b.Source.Name(), b.Scheduler.Name(), b.Evictor.Name())
+}

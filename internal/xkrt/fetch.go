@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"xkblas/internal/cache"
+	"xkblas/internal/policy"
 	"xkblas/internal/topology"
 )
 
@@ -16,14 +17,21 @@ func (rt *Runtime) fetchInput(t *Task, tile *cache.Tile, dev topology.DeviceID) 
 		return
 	}
 	t.pendingFetch++
-	arrived := func() {
+	rt.requestReplica(tile, dev, func() {
 		rt.Cache.Pin(tile, dev)
 		rt.Cache.Touch(tile, dev)
 		t.pendingFetch--
 		if t.pendingFetch == 0 {
 			rt.launchKernel(t)
 		}
-	}
+	})
+}
+
+// requestReplica is the shared fetch-planning prologue of kernel-input
+// staging and prefetch: piggyback on a transfer already headed to dev, or
+// let the source policy choose where the replica comes from and issue the
+// movement. arrived runs once the replica is valid on dev.
+func (rt *Runtime) requestReplica(tile *cache.Tile, dev topology.DeviceID, arrived func()) {
 	if tile.InflightTo(dev) {
 		// Another consumer on this device already requested the tile:
 		// piggyback, never duplicate a transfer.
@@ -34,95 +42,19 @@ func (rt *Runtime) fetchInput(t *Task, tile *cache.Tile, dev topology.DeviceID) 
 	rt.issueFetch(tile, src, dev, chained, arrived)
 }
 
-// selectSource is the paper's contribution: choose where a tile replica
-// should be read from.
-//
-//  1. If one or more GPUs hold a valid replica, pick among them — by
-//     decreasing link performance rank to dst when TopoAware (§III-B),
-//     arbitrarily (lowest id) otherwise.
-//  2. Else, if the host copy is valid: with Optimistic enabled and a
-//     replica under transfer to some GPU, wait for that arrival and
-//     forward device-to-device instead of a second PCIe host read
-//     (§III-C); otherwise read from the host.
-//  3. Else the single dirty GPU replica is the source.
-//
-// The returned chained flag means "src is an in-flight destination to wait
-// on", not a valid holder.
+// selectSource delegates to the bundle's source policy (§III-B/§III-C via
+// policy.SelectSource). The returned chained flag means "src is an
+// in-flight destination to wait on", not a valid holder.
 func (rt *Runtime) selectSource(tile *cache.Tile, dst topology.DeviceID) (topology.DeviceID, bool) {
-	if cands := rt.filterSources(tile.ValidGPUs(), dst); len(cands) > 0 {
-		if !rt.Opt.TopoAware {
-			return cands[0], false
-		}
-		best := cands[0]
-		bestRank := rt.Plat.Topo.P2PPerformanceRank(best, dst)
-		for _, c := range cands[1:] {
-			if r := rt.Plat.Topo.P2PPerformanceRank(c, dst); r > bestRank {
-				best, bestRank = c, r
-			}
-		}
-		return best, false
+	src, chained, ok := policy.SelectSource(rt.pol.Source, rt.Plat.Topo, tile, dst, &rt.decisions)
+	if !ok {
+		panic(fmt.Sprintf("xkrt: tile %v has no valid copy anywhere", tile.Key))
 	}
-	if tile.HostValid() {
-		if rt.Opt.Optimistic {
-			if g := rt.bestInflight(tile, dst); g >= 0 {
-				return g, true
-			}
-		}
-		return topology.Host, false
-	}
-	if d := tile.DirtyOn(); d >= 0 {
-		return d, false
-	}
-	// Host invalid and no valid/dirty replica: the only copy is in flight.
-	if infl := tile.InflightDsts(); len(infl) > 0 {
-		return infl[0], true
-	}
-	panic(fmt.Sprintf("xkrt: tile %v has no valid copy anywhere", tile.Key))
+	return src, chained
 }
 
-// filterSources applies the source policy to the candidate replica set.
-// Policies only restrict reads that could otherwise come from the host;
-// when the host copy is gone the dirty holder is always reachable (handled
-// by the caller).
-func (rt *Runtime) filterSources(cands []topology.DeviceID, dst topology.DeviceID) []topology.DeviceID {
-	switch rt.Opt.Sources {
-	case SourceHostOnly:
-		return nil
-	case SourceSameSwitch:
-		var out []topology.DeviceID
-		for _, c := range cands {
-			if rt.Plat.Topo.SameSwitch(c, dst) {
-				out = append(out, c)
-			}
-		}
-		return out
-	default:
-		return cands
-	}
-}
-
-// bestInflight returns the in-flight destination with the best link to dst
-// (rank order when TopoAware, else first), or -1 if none.
-func (rt *Runtime) bestInflight(tile *cache.Tile, dst topology.DeviceID) topology.DeviceID {
-	var best topology.DeviceID = -1
-	bestRank := -1
-	for _, g := range tile.InflightDsts() {
-		if g == dst {
-			continue
-		}
-		r := 0
-		if rt.Opt.TopoAware {
-			r = rt.Plat.Topo.P2PPerformanceRank(g, dst)
-		}
-		if best < 0 || r > bestRank {
-			best, bestRank = g, r
-		}
-	}
-	return best
-}
-
-// issueFetch starts the physical movement chosen by selectSource. For a
-// chained source it registers the under-transfer state on dst immediately —
+// issueFetch starts the physical movement chosen by the source policy. For
+// a chained source it registers the under-transfer state on dst immediately —
 // the §III-C metadata extension — so further consumers piggyback on dst's
 // pending arrival rather than issuing their own copies.
 func (rt *Runtime) issueFetch(tile *cache.Tile, src topology.DeviceID, dst topology.DeviceID, chained bool, done func()) {
@@ -132,6 +64,7 @@ func (rt *Runtime) issueFetch(tile *cache.Tile, src topology.DeviceID, dst topol
 		} else {
 			rt.stats.PeerSources++
 		}
+		rt.decisions.CountTransfer(rt.Plat.Topo, src, dst)
 		if err := rt.Cache.StartTransfer(tile, src, dst, done); err != nil {
 			panic(fmt.Sprintf("xkrt: %v", err))
 		}
@@ -143,6 +76,7 @@ func (rt *Runtime) issueFetch(tile *cache.Tile, src topology.DeviceID, dst topol
 		// The upstream hop has landed on src; forward over the (fast)
 		// peer link. src is necessarily valid now.
 		rt.stats.PeerSources++
+		rt.decisions.CountTransfer(rt.Plat.Topo, src, dst)
 		if err := rt.Cache.StartTransfer(tile, src, dst, done); err != nil {
 			panic(fmt.Sprintf("xkrt: chained hop: %v", err))
 		}

@@ -5,6 +5,7 @@ import (
 
 	"xkblas/internal/cache"
 	"xkblas/internal/device"
+	"xkblas/internal/policy"
 	"xkblas/internal/sim"
 	"xkblas/internal/topology"
 )
@@ -68,6 +69,80 @@ type Options struct {
 	// GridP×GridQ is the owner-computes mapping grid; 0 derives it from
 	// the GPU count (8→4×2, matching the paper's DoD grid).
 	GridP, GridQ int
+	// Policy, when non-nil, is the complete declarative policy bundle and
+	// overrides every knob above except Window and the grid. The baseline
+	// libraries configure the runtime this way; the boolean knobs remain
+	// for the ablation entry points.
+	Policy *policy.Bundle
+}
+
+// Validate reports a descriptive error for inconsistent options. New
+// panics on the same conditions.
+func (o Options) Validate() error {
+	if o.Window < 1 {
+		return fmt.Errorf("xkrt: Options.Window must be >= 1, got %d", o.Window)
+	}
+	switch o.Scheduler {
+	case WorkStealing, DMDAS:
+	default:
+		return fmt.Errorf("xkrt: unknown Options.Scheduler %d", int(o.Scheduler))
+	}
+	switch o.Sources {
+	case SourceAny, SourceHostOnly, SourceSameSwitch:
+	default:
+		return fmt.Errorf("xkrt: unknown Options.Sources %d", int(o.Sources))
+	}
+	if o.GridP < 0 || o.GridQ < 0 {
+		return fmt.Errorf("xkrt: negative owner grid %dx%d", o.GridP, o.GridQ)
+	}
+	if o.Policy != nil {
+		if err := o.Policy.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bundle compiles the legacy option knobs into the policy triple; an
+// explicit Policy wins. The mapping preserves the historical semantics
+// exactly: TopoAware picks the ranked peer selector, Sources wraps or
+// replaces it, Optimistic layers in-flight chaining on top, and
+// EvictAfterUse selects the streaming evictor.
+func (o Options) bundle() policy.Bundle {
+	if o.Policy != nil {
+		return *o.Policy
+	}
+	var base policy.SourceSelector
+	if o.TopoAware {
+		base = policy.TopoRank{}
+	} else {
+		base = policy.LowestID{}
+	}
+	var src policy.SourceSelector
+	switch o.Sources {
+	case SourceHostOnly:
+		src = policy.HostOnly{}
+	case SourceSameSwitch:
+		src = policy.SameSwitch{Base: base}
+	default:
+		src = base
+	}
+	if o.Optimistic {
+		src = policy.Optimistic{Base: src, Ranked: o.TopoAware}
+	}
+	var sched policy.Scheduler
+	if o.Scheduler == DMDAS {
+		sched = policy.DMDAS{}
+	} else {
+		sched = policy.WorkStealing{NoSteal: o.NoSteal}
+	}
+	var ev policy.Evictor
+	if o.EvictAfterUse {
+		ev = policy.Streaming{}
+	} else {
+		ev = policy.LRUReadOnlyFirst{}
+	}
+	return policy.Bundle{Source: src, Scheduler: sched, Evictor: ev}
 }
 
 // DefaultOptions returns the full-featured XKBLAS configuration.
@@ -100,6 +175,9 @@ type Runtime struct {
 	pending int // submitted but not completed tasks
 	ownerRR int // round-robin fallback for unowned written tiles
 
+	pol       policy.Bundle
+	decisions policy.Decisions
+
 	stats RuntimeStats
 }
 
@@ -113,10 +191,11 @@ type RuntimeStats struct {
 }
 
 // New builds a runtime over an existing engine/platform with a fresh cache.
-// functional selects real-data mode.
+// functional selects real-data mode. Invalid options panic; call
+// Options.Validate first to get the error instead.
 func New(eng *sim.Engine, plat *device.Platform, functional bool, opt Options) *Runtime {
-	if opt.Window <= 0 {
-		opt.Window = 4
+	if err := opt.Validate(); err != nil {
+		panic(err)
 	}
 	n := len(plat.GPUs)
 	if opt.GridP == 0 || opt.GridQ == 0 {
@@ -127,12 +206,15 @@ func New(eng *sim.Engine, plat *device.Platform, functional bool, opt Options) *
 		Plat:       plat,
 		Cache:      cache.New(plat, functional),
 		Opt:        opt,
+		pol:        opt.bundle(),
 		lastWriter: make(map[cache.TileKey]*Task),
 		readers:    make(map[cache.TileKey][]*Task),
 		queues:     make([][]*Task, n),
 		window:     make([]int, n),
 		estLoad:    make([]sim.Time, n),
 	}
+	rt.Cache.Evictor = rt.pol.Evictor
+	rt.Cache.Decisions = &rt.decisions
 	return rt
 }
 
@@ -150,6 +232,60 @@ func defaultGrid(n int) (p, q int) {
 
 // Stats returns a copy of the runtime counters.
 func (rt *Runtime) Stats() RuntimeStats { return rt.stats }
+
+// Decisions returns a copy of the policy-decision counters accumulated so
+// far (including the cache's eviction decisions).
+func (rt *Runtime) Decisions() policy.Decisions { return rt.decisions }
+
+// Policy returns the active policy bundle.
+func (rt *Runtime) Policy() policy.Bundle { return rt.pol }
+
+// schedState adapts the runtime to the policy layer's scheduler-state view;
+// all queue surgery stays in the runtime.
+type schedState struct{ rt *Runtime }
+
+// NumDevices implements policy.SchedState.
+func (s schedState) NumDevices() int { return len(s.rt.Plat.GPUs) }
+
+// QueueLen implements policy.SchedState.
+func (s schedState) QueueLen(dev topology.DeviceID) int { return len(s.rt.queues[dev]) }
+
+// PeekQueue implements policy.SchedState.
+func (s schedState) PeekQueue(dev topology.DeviceID, i int) policy.SchedTask {
+	return s.rt.queues[dev][i]
+}
+
+// EstLoad implements policy.SchedState.
+func (s schedState) EstLoad(dev topology.DeviceID) sim.Time { return s.rt.estLoad[dev] }
+
+// KernelAvailableAt implements policy.SchedState.
+func (s schedState) KernelAvailableAt(dev topology.DeviceID) sim.Time {
+	return s.rt.Plat.GPU(dev).Kernel.AvailableAt()
+}
+
+// TransferEstimate implements policy.SchedState.
+func (s schedState) TransferEstimate(src, dst topology.DeviceID, bytes int64) sim.Time {
+	return s.rt.Plat.TransferEstimate(src, dst, bytes)
+}
+
+// EstimateExec implements policy.SchedState, memoizing the estimate on the
+// task for the runtime's load accounting.
+func (s schedState) EstimateExec(t policy.SchedTask) sim.Time {
+	tt := t.(*Task)
+	m := s.rt.Plat.Model
+	tt.estExec = m.Time(tt.kern.Routine, tt.kern.Flops, tt.kern.M, tt.kern.N, tt.kern.K)
+	return tt.estExec
+}
+
+// Grid implements policy.SchedState.
+func (s schedState) Grid() (p, q int) { return s.rt.Opt.GridP, s.rt.Opt.GridQ }
+
+// NextRoundRobin implements policy.SchedState.
+func (s schedState) NextRoundRobin() topology.DeviceID {
+	d := topology.DeviceID(s.rt.ownerRR % len(s.rt.Plat.GPUs))
+	s.rt.ownerRR++
+	return d
+}
 
 // Pending reports how many submitted tasks have not completed.
 func (rt *Runtime) Pending() int { return rt.pending }

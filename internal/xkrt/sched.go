@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"xkblas/internal/cache"
 	"xkblas/internal/matrix"
 	"xkblas/internal/sim"
 	"xkblas/internal/topology"
@@ -24,83 +23,15 @@ func (rt *Runtime) enqueueReady(t *Task) {
 		rt.runPrefetch(t)
 		return
 	}
-	switch rt.Opt.Scheduler {
-	case WorkStealing:
-		dev := rt.homeDevice(t)
-		rt.queues[dev] = append(rt.queues[dev], t)
-	case DMDAS:
-		dev := rt.dmdasAssign(t)
+	dev := rt.pol.Scheduler.Assign(t, schedState{rt})
+	if rt.pol.Scheduler.Sorted() {
 		t.dev = dev
 		rt.insertByPriority(dev, t)
 		rt.estLoad[dev] += t.estExec
+	} else {
+		rt.queues[dev] = append(rt.queues[dev], t)
 	}
 	rt.pumpAll()
-}
-
-// homeDevice implements the owner-computes rule: a task runs where its
-// output tile lives. Tiles without an owner yet are assigned with the 2D
-// grid map (i mod P, j mod Q), the mapping used for the paper's DoD
-// distribution.
-func (rt *Runtime) homeDevice(t *Task) topology.DeviceID {
-	w := t.writtenTile()
-	if w == nil {
-		// Read-only task (rare): round-robin.
-		d := topology.DeviceID(rt.ownerRR % len(rt.Plat.GPUs))
-		rt.ownerRR++
-		return d
-	}
-	if w.Owner >= 0 {
-		return w.Owner
-	}
-	owner := topology.DeviceID((w.Key.I%rt.Opt.GridP)*rt.Opt.GridQ+w.Key.J%rt.Opt.GridQ) %
-		topology.DeviceID(len(rt.Plat.GPUs))
-	w.Owner = owner
-	return owner
-}
-
-// dmdasAssign picks the device minimising estimated completion time
-// (device availability + missing-data transfer cost + kernel cost), the
-// StarPU dmdas model with a performance model already "trained" (the
-// simulator's timing model plays that role).
-func (rt *Runtime) dmdasAssign(t *Task) topology.DeviceID {
-	model := rt.Plat.Model
-	t.estExec = model.Time(t.kern.Routine, t.kern.Flops, t.kern.M, t.kern.N, t.kern.K)
-	best := topology.DeviceID(0)
-	var bestEnd sim.Time = sim.Infinity
-	for d := range rt.Plat.GPUs {
-		dev := topology.DeviceID(d)
-		avail := rt.Plat.GPU(dev).Kernel.AvailableAt() + rt.estLoad[d]
-		var xfer sim.Time
-		for _, a := range t.acc {
-			if !a.Mode.reads() {
-				continue
-			}
-			if a.Tile.ValidOn(dev) || a.Tile.InflightTo(dev) {
-				continue
-			}
-			src := topology.Host
-			if g := firstValidGPU(a.Tile); g >= 0 {
-				src = g
-			} else if !a.Tile.HostValid() {
-				src = a.Tile.DirtyOn()
-			}
-			xfer += rt.Plat.TransferEstimate(src, dev, a.Tile.Bytes)
-		}
-		end := avail + xfer + t.estExec
-		if end < bestEnd {
-			bestEnd = end
-			best = dev
-		}
-	}
-	return best
-}
-
-func firstValidGPU(t *cache.Tile) topology.DeviceID {
-	gs := t.ValidGPUs()
-	if len(gs) == 0 {
-		return -1
-	}
-	return gs[0]
 }
 
 // insertByPriority keeps the DMDAS per-device queue sorted by descending
@@ -137,60 +68,29 @@ func (rt *Runtime) pump(dev topology.DeviceID) {
 	}
 }
 
-// popTask takes the next ready task for dev: local FIFO first, then — for
-// the work-stealing scheduler — a locality-guided steal from the most
-// loaded victim.
+// popTask takes the next ready task for dev: local queue head first, then
+// whatever migration the scheduler policy allows (locality-guided stealing
+// for work stealing, nothing for DMDAS).
 func (rt *Runtime) popTask(dev topology.DeviceID) *Task {
 	q := rt.queues[dev]
 	if len(q) > 0 {
 		t := q[0]
 		rt.queues[dev] = q[1:]
-		if rt.Opt.Scheduler == DMDAS {
+		if rt.pol.Scheduler.Sorted() {
 			rt.estLoad[dev] -= t.estExec
 		}
+		rt.decisions.OwnerHits++
 		return t
 	}
-	if rt.Opt.Scheduler != WorkStealing || rt.Opt.NoSteal {
+	victim, idx, ok := rt.pol.Scheduler.Steal(dev, schedState{rt})
+	if !ok {
 		return nil
 	}
-	// Steal: victim with the longest queue.
-	victim := -1
-	best := 0
-	for d := range rt.queues {
-		if topology.DeviceID(d) == dev {
-			continue
-		}
-		if l := len(rt.queues[d]); l > best {
-			best = l
-			victim = d
-		}
-	}
-	if victim < 0 {
-		return nil
-	}
-	// Locality heuristic [11]: among the first few victim tasks, prefer
-	// the one whose inputs are already resident or in flight on the thief.
 	vq := rt.queues[victim]
-	scan := len(vq)
-	if scan > 8 {
-		scan = 8
-	}
-	bestIdx, bestScore := 0, -1
-	for i := 0; i < scan; i++ {
-		score := 0
-		for _, a := range vq[i].acc {
-			if a.Tile.ValidOn(dev) || a.Tile.InflightTo(dev) {
-				score++
-			}
-		}
-		if score > bestScore {
-			bestScore = score
-			bestIdx = i
-		}
-	}
-	t := vq[bestIdx]
-	rt.queues[victim] = append(vq[:bestIdx:bestIdx], vq[bestIdx+1:]...)
+	t := vq[idx]
+	rt.queues[victim] = append(vq[:idx:idx], vq[idx+1:]...)
 	rt.stats.Steals++
+	rt.decisions.Steals++
 	return t
 }
 
@@ -247,7 +147,7 @@ func (rt *Runtime) completeKernel(t *Task, start, end sim.Time) {
 		}
 		rt.Cache.Unpin(a.Tile, dev)
 		rt.Cache.Touch(a.Tile, dev)
-		if rt.Opt.EvictAfterUse && a.Mode == Read {
+		if !rt.pol.Evictor.RetainAfterRead() && a.Mode == Read {
 			rt.Cache.DropClean(a.Tile, dev)
 		}
 	}
@@ -274,10 +174,5 @@ func (rt *Runtime) runPrefetch(t *Task) {
 		rt.taskDone(t)
 		return
 	}
-	if tile.InflightTo(dev) {
-		tile.AddInflightWaiter(dev, func() { rt.taskDone(t) })
-		return
-	}
-	src, chained := rt.selectSource(tile, dev)
-	rt.issueFetch(tile, src, dev, chained, func() { rt.taskDone(t) })
+	rt.requestReplica(tile, dev, func() { rt.taskDone(t) })
 }

@@ -13,6 +13,7 @@ import (
 	"xkblas/internal/blasops"
 	"xkblas/internal/cache"
 	"xkblas/internal/matrix"
+	"xkblas/internal/policy"
 	"xkblas/internal/sim"
 	"xkblas/internal/topology"
 )
@@ -147,6 +148,23 @@ func (t *Task) writtenTile() *cache.Tile {
 		}
 	}
 	return nil
+}
+
+// NumAccesses implements policy.SchedTask.
+func (t *Task) NumAccesses() int { return len(t.acc) }
+
+// AccessTile implements policy.SchedTask.
+func (t *Task) AccessTile(i int) policy.TileView { return t.acc[i].Tile }
+
+// AccessReads implements policy.SchedTask.
+func (t *Task) AccessReads(i int) bool { return t.acc[i].Mode.reads() }
+
+// OutputTile implements policy.SchedTask.
+func (t *Task) OutputTile() (policy.TileView, bool) {
+	if w := t.writtenTile(); w != nil {
+		return w, true
+	}
+	return nil, false
 }
 
 // Matrix couples a registered host matrix with its tiling and cache tiles.

@@ -8,6 +8,7 @@ import (
 	"xkblas/internal/device"
 	"xkblas/internal/hostblas"
 	"xkblas/internal/matrix"
+	"xkblas/internal/policy"
 	"xkblas/internal/sim"
 	"xkblas/internal/topology"
 )
@@ -131,10 +132,10 @@ func TestTiledGemmAllHeuristicConfigs(t *testing.T) {
 		name string
 		opt  Options
 	}{
-		{"full", Options{TopoAware: true, Optimistic: true}},
-		{"no-heuristic", Options{TopoAware: true, Optimistic: false}},
-		{"no-heuristic-no-topo", Options{TopoAware: false, Optimistic: false}},
-		{"dmdas", Options{TopoAware: true, Optimistic: true, Scheduler: DMDAS}},
+		{"full", Options{TopoAware: true, Optimistic: true, Window: 4}},
+		{"no-heuristic", Options{TopoAware: true, Optimistic: false, Window: 4}},
+		{"no-heuristic-no-topo", Options{TopoAware: false, Optimistic: false, Window: 4}},
+		{"dmdas", Options{TopoAware: true, Optimistic: true, Window: 4, Scheduler: DMDAS}},
 	} {
 		t.Run(cfg.name, func(t *testing.T) {
 			rt, cv, want := buildTiledGemm(t, cfg.opt, 48, 16, 7)
@@ -170,8 +171,8 @@ func TestOptimisticHeuristicChainsTransfers(t *testing.T) {
 		rt.Barrier()
 		return rt.Stats()
 	}
-	on := build(Options{TopoAware: true, Optimistic: true})
-	off := build(Options{TopoAware: true, Optimistic: false})
+	on := build(Options{TopoAware: true, Optimistic: true, Window: 4})
+	off := build(Options{TopoAware: true, Optimistic: false, Window: 4})
 	if on.ChainedHops == 0 {
 		t.Fatal("optimistic heuristic never chained a transfer")
 	}
@@ -185,7 +186,7 @@ func TestOptimisticHeuristicChainsTransfers(t *testing.T) {
 }
 
 func TestTopoAwarePicksBestLink(t *testing.T) {
-	rt := newRuntime(false, Options{TopoAware: true, Optimistic: true})
+	rt := newRuntime(false, Options{TopoAware: true, Optimistic: true, Window: 4})
 	v := matrix.NewShape(16, 16)
 	M := rt.Register(v, 16)
 	tile := M.Tile(0, 0)
@@ -200,10 +201,9 @@ func TestTopoAwarePicksBestLink(t *testing.T) {
 		t.Fatalf("selectSource = (%d, %v), want (3, false): 2xNVLink beats 1xNVLink", src, chained)
 	}
 	// Without topology awareness the pick is arbitrary (lowest id).
-	rt.Opt.TopoAware = false
-	src, _ = rt.selectSource(tile, 0)
-	if src != 1 {
-		t.Fatalf("no-topo pick = %d, want 1 (lowest id)", src)
+	src2, _, ok := policy.SelectSource(policy.LowestID{}, rt.Plat.Topo, tile, 0, nil)
+	if !ok || src2 != 1 {
+		t.Fatalf("no-topo pick = %d, want 1 (lowest id)", src2)
 	}
 }
 
