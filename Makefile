@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check bench verify experiments experiments-quick examples fmt fmtcheck vet clean
+.PHONY: all build test race stress check bench verify experiments experiments-quick examples fmt fmtcheck vet clean
 
 all: check
 
@@ -14,12 +14,21 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the packages with multi-goroutine code: the
-# parallel sweep harness, the engine it drives, and the parallel host GEMM.
+# parallel sweep harness, the engine it drives, the parallel host GEMM, and
+# the runtime under the randomized audit sweep.
 race:
-	$(GO) test -race ./internal/bench/... ./internal/sim/... ./internal/hostblas/...
+	$(GO) test -race ./internal/bench/... ./internal/sim/... ./internal/hostblas/... ./internal/xkrt/...
 
-# Default verification gate: build, vet, formatting, tests, race pass.
-check: build vet fmtcheck test race
+# Coherence stress gate (fixed seeds, deterministic): the randomized DAG
+# audit sweep over every policy bundle/topology/mode, the cache coherence
+# fuzzer, the auditor's mutation self-tests, and the mode-parity check.
+stress:
+	$(GO) test -count=1 -run 'TestAuditRandomDAGSweep|TestAuditCatchesEvilEvictor|TestFunctionalTimingParity|TestRandomDAG|TestChainedForward' ./internal/xkrt/
+	$(GO) test -count=1 -run 'TestCacheCoherenceFuzz|TestCancelInflight' ./internal/cache/
+	$(GO) test -count=1 ./internal/check/
+
+# Default verification gate: build, vet, formatting, tests, stress, race pass.
+check: build vet fmtcheck test stress race
 
 # One testing.B benchmark per paper table/figure plus the ablations.
 bench:

@@ -32,6 +32,7 @@ import (
 	"xkblas/internal/baseline"
 	"xkblas/internal/bench"
 	"xkblas/internal/blasops"
+	"xkblas/internal/check"
 )
 
 func main() {
@@ -49,9 +50,12 @@ func main() {
 		"print the policy-decision counters (transfer sources by link class, optimistic chains, evictions, steals) of each sweep point")
 	parallel := flag.Int("parallel", runtime.NumCPU(),
 		"worker goroutines for independent simulated runs (1 = sequential; results are bit-identical at any level)")
+	checkFlag := flag.Bool("check", false,
+		"run every simulation under the coherence-invariant auditor (internal/check); violations surface as per-point errors and a non-zero exit")
 	flag.Parse()
 
 	bench.DefaultParallelism = *parallel
+	bench.CheckRuns = *checkFlag
 
 	w := os.Stdout
 	var points []bench.Point
@@ -141,6 +145,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(w, "wrote %d points to %s\n", len(points), *csvPath)
+	}
+
+	if *checkFlag {
+		drains, violations := check.Stats()
+		fmt.Fprintf(w, "coherence audit: %d clean drains, %d violations\n", drains, violations)
+		if violations > 0 {
+			os.Exit(1)
+		}
 	}
 }
 

@@ -67,6 +67,10 @@ type Request struct {
 
 	// Trace attaches a recorder (Figs. 6, 7, 9).
 	Trace bool
+
+	// Check attaches the strict coherence-invariant auditor to the run
+	// (xkbench -check): any protocol violation surfaces as Result.Err.
+	Check bool
 }
 
 // Result is one measurement outcome.
@@ -100,7 +104,7 @@ func newHandle(req Request, opts xkrt.Options) *core.Handle {
 	if plat == nil {
 		plat = topology.DGX1()
 	}
-	h := core.NewHandle(core.Config{Platform: plat, TileSize: req.NB, Options: opts, Links: req.Links})
+	h := core.NewHandle(core.Config{Platform: plat, TileSize: req.NB, Options: opts, Links: req.Links, Check: req.Check})
 	if req.NoiseAmp > 0 {
 		h.Plat.Model.EnableNoise(req.NoiseAmp, req.NoiseSeed)
 	}
@@ -197,6 +201,9 @@ func runStandard(h *core.Handle, req Request, rec *trace.Recorder) (res Result) 
 		h.MemoryCoherentAsync(out)
 	}
 	end := h.Sync()
+	if err := h.RT.Err(); err != nil {
+		return Result{Err: err, Rec: rec}
+	}
 	el := end - t0
 	if rec != nil {
 		rec.Decisions = h.RT.Decisions()
@@ -313,6 +320,9 @@ func (l *StdLib) RunComposition(req Request) (res Result) {
 	h.MemoryCoherentAsync(B)
 	h.MemoryCoherentAsync(D)
 	end := h.Sync()
+	if err := h.RT.Err(); err != nil {
+		return Result{Err: err, Rec: rec}
+	}
 	el := end - t0
 	flops := blasops.FlopsSquare(blasops.Trsm, n) + blasops.FlopsSquare(blasops.Gemm, n)
 	gf := 0.0

@@ -75,6 +75,9 @@ func (l cublasMGLib) Run(req Request) (res Result) {
 		h.MemoryCoherentAsync(C)
 	}
 	end := h.Sync()
+	if err := h.RT.Err(); err != nil {
+		return Result{Err: err, Rec: rec}
+	}
 	el := end - t0
 	if rec != nil {
 		rec.Decisions = h.RT.Decisions()

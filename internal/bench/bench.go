@@ -63,7 +63,17 @@ type Config struct {
 	// order, so any parallelism level returns bit-identical points (see
 	// DESIGN.md §6).
 	Parallel int
+	// Check attaches the strict coherence-invariant auditor to every
+	// simulated run (xkbench -check). Auditing is pure observation: a clean
+	// sweep is bit-identical to an unaudited one; a violation surfaces as
+	// the point's Err.
+	Check bool
 }
+
+// CheckRuns mirrors Config.Check for the experiment drivers that build
+// their own Config/Request values internally (xkbench -exp); the -check
+// flag sets it process-wide.
+var CheckRuns bool
 
 // DefaultTiles is the paper's tile-size candidate set.
 func DefaultTiles() []int { return []int{1024, 2048, 4096} }
@@ -160,6 +170,7 @@ func runRep(cfg Config, lib baseline.Library, r blasops.Routine, n, nb, rep int)
 		Scenario:  cfg.Scenario,
 		NoiseAmp:  cfg.NoiseAmp,
 		NoiseSeed: int64(rep)*7919 + int64(n) + int64(nb),
+		Check:     cfg.Check || CheckRuns,
 	})
 }
 

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xkblas/internal/baseline"
+	"xkblas/internal/blasops"
+	"xkblas/internal/cache"
+	"xkblas/internal/xkrt"
+)
+
+// TestGoldenSweepParityWithCheck re-runs the golden sweep with the strict
+// coherence auditor attached to every simulated run and requires the CSV to
+// remain byte-identical to testdata/golden_sweep.csv. This pins the
+// auditing-is-pure-observation contract: -check may add shadow-state
+// bookkeeping but must not move a single virtual clock edge or decision
+// counter — and the whole golden roster must run violation-free.
+func TestGoldenSweepParityWithCheck(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.Check = true
+	points := RunSweep(cfg)
+	for _, p := range points {
+		if p.Err != nil {
+			t.Errorf("%s %v N=%d: audited run failed: %v", p.Lib, p.Routine, p.N, p.Err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, points); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_sweep.csv"))
+	if err != nil {
+		t.Fatalf("missing golden file (generate via TestGoldenSweepParity -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("audited sweep diverged from the golden CSV — the auditor perturbed the simulation")
+	}
+}
+
+// TestMeasurePointSurfacesOOM locks the typed allocation-failure path end
+// to end: a library whose memory reservation leaves (almost) no usable
+// device memory must yield a per-point error matching cache.ErrDeviceOOM
+// through the feasibility wrapper, instead of panicking the sweep as the
+// old fetch path did.
+func TestMeasurePointSurfacesOOM(t *testing.T) {
+	lib := &baseline.StdLib{
+		LibName:    "oom-probe",
+		Routines:   []blasops.Routine{blasops.Gemm},
+		Opts:       xkrt.DefaultOptions(),
+		MemReserve: 0.999,
+	}
+	cfg := Config{
+		Libs:     []baseline.Library{lib},
+		Routines: []blasops.Routine{blasops.Gemm},
+		Sizes:    []int{4096},
+		Tiles:    []int{1024},
+		Runs:     1,
+	}
+	p := MeasurePoint(cfg, lib, blasops.Gemm, 4096)
+	if p.Err == nil {
+		t.Fatal("point succeeded with 0.1% of device memory")
+	}
+	if !errors.Is(p.Err, cache.ErrDeviceOOM) {
+		t.Fatalf("point error %v does not match cache.ErrDeviceOOM", p.Err)
+	}
+}

@@ -15,14 +15,37 @@ package cache
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 
+	"xkblas/internal/check"
 	"xkblas/internal/device"
 	"xkblas/internal/matrix"
 	"xkblas/internal/policy"
 	"xkblas/internal/sim"
 	"xkblas/internal/topology"
 )
+
+// ErrDeviceOOM is the sentinel matched by errors.Is when a device
+// allocation fails because nothing more can be evicted: every resident
+// replica is pinned, dirty or under transfer. Callers surface it as a
+// per-run failure instead of crashing the sweep.
+var ErrDeviceOOM = errors.New("device out of memory")
+
+// OOMError carries the tile/device context of a failed device allocation.
+type OOMError struct {
+	Dev                  topology.DeviceID
+	Key                  TileKey
+	Need, Used, Capacity int64
+}
+
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("cache: GPU %d out of memory for %v: need %d bytes, used %d/%d and the remainder is pinned, dirty or under transfer",
+		e.Dev, e.Key, e.Need, e.Used, e.Capacity)
+}
+
+// Is reports sentinel identity for errors.Is(err, ErrDeviceOOM).
+func (e *OOMError) Is(target error) bool { return target == ErrDeviceOOM }
 
 // MatrixID identifies a registered matrix.
 type MatrixID int
@@ -74,13 +97,15 @@ type replica struct {
 }
 
 // Inflight records a transfer (or a chained wait) whose payload is heading
-// to a device; waiters fire once the replica is valid there. A record may
-// exist before the physical transfer starts: the optimistic heuristic marks
-// the destination as under-transfer while it waits for the upstream hop.
+// to a device; waiters fire once the replica is valid there (err == nil)
+// or the chain feeding it fails (err != nil, see CancelInflight). A record
+// may exist before the physical transfer starts: the optimistic heuristic
+// marks the destination as under-transfer while it waits for the upstream
+// hop.
 type Inflight struct {
 	Dst     topology.DeviceID
 	started bool
-	waiters []func()
+	waiters []func(err error)
 }
 
 // Tile is the cache record of one matrix tile.
@@ -128,6 +153,11 @@ type Cache struct {
 
 	// Decisions, when non-nil, receives the eviction decision counters.
 	Decisions *policy.Decisions
+
+	// Audit, when non-nil, receives every state transition for coherence
+	// verification (the `internal/check` invariant auditor). Auditing is
+	// pure observation and never perturbs timings.
+	Audit *check.Auditor
 
 	nextMat MatrixID
 	lru     []*list.List // per device
@@ -243,9 +273,15 @@ func (t *Tile) SetHomeOwner(dev topology.DeviceID) { t.Owner = dev }
 // Coords implements policy.TileView: the tile-grid position.
 func (t *Tile) Coords() (i, j int) { return t.Key.I, t.Key.J }
 
+// CheckID converts the tile key to the auditor's matrix-agnostic id.
+func (t *Tile) CheckID() check.TileID {
+	return check.TileID{Mat: int(t.Key.Mat), I: t.Key.I, J: t.Key.J}
+}
+
 // AddInflightWaiter registers fn to run when the pending transfer to dev
-// completes. It panics if no transfer to dev is in flight.
-func (t *Tile) AddInflightWaiter(dev topology.DeviceID, fn func()) {
+// completes (err == nil) or the chain feeding it is cancelled (err !=
+// nil). It panics if no transfer to dev is in flight.
+func (t *Tile) AddInflightWaiter(dev topology.DeviceID, fn func(err error)) {
 	inf, ok := t.inflight[dev]
 	if !ok {
 		panic(fmt.Sprintf("cache: no inflight to %d for %v", dev, t.Key))
@@ -260,6 +296,9 @@ func (c *Cache) Pin(t *Tile, dev topology.DeviceID) {
 	if r == nil || !r.valid {
 		panic(fmt.Sprintf("cache: pin of invalid replica %v on %d", t.Key, dev))
 	}
+	if c.Audit != nil {
+		c.Audit.OnPin(t.CheckID(), dev)
+	}
 	r.pins++
 }
 
@@ -268,6 +307,9 @@ func (c *Cache) Unpin(t *Tile, dev topology.DeviceID) {
 	r := t.reps[dev]
 	if r == nil || r.pins <= 0 {
 		panic(fmt.Sprintf("cache: unbalanced unpin %v on %d", t.Key, dev))
+	}
+	if c.Audit != nil {
+		c.Audit.OnUnpin(t.CheckID(), dev)
 	}
 	r.pins--
 }
@@ -290,18 +332,18 @@ func (c *Cache) DeviceBuf(t *Tile, dev topology.DeviceID) matrix.View {
 }
 
 // ensureReplica allocates (evicting as needed) an invalid replica record
-// with buffer space on dev.
+// with buffer space on dev. A failure is always an *OOMError (matched by
+// errors.Is against ErrDeviceOOM): nothing evictable remained.
 func (c *Cache) ensureReplica(t *Tile, dev topology.DeviceID) (*replica, error) {
 	if r, ok := t.reps[dev]; ok {
 		return r, nil
 	}
 	pool := c.Plat.GPU(dev).Mem
 	if !pool.Alloc(t.Bytes) {
-		if err := c.evict(dev, t.Bytes); err != nil {
-			return nil, err
-		}
+		c.evict(dev, t.Bytes)
 		if !pool.Alloc(t.Bytes) {
-			return nil, fmt.Errorf("cache: GPU %d out of memory for %v (%d bytes)", dev, t.Key, t.Bytes)
+			return nil, &OOMError{Dev: dev, Key: t.Key, Need: t.Bytes,
+				Used: pool.Used(), Capacity: pool.Capacity()}
 		}
 	}
 	r := &replica{}
@@ -310,14 +352,18 @@ func (c *Cache) ensureReplica(t *Tile, dev topology.DeviceID) (*replica, error) 
 	}
 	r.lruEl = c.lru[dev].PushBack(lruEntry{tile: t, dev: dev})
 	t.reps[dev] = r
+	if c.Audit != nil {
+		c.Audit.OnAlloc(t.CheckID(), dev, t.Bytes, pool.Used())
+	}
 	return r, nil
 }
 
-// evict frees at least need bytes on dev by walking replicas in LRU order
+// evict frees up to need bytes on dev by walking replicas in LRU order
 // and consulting the eviction policy (default policy.LRUReadOnlyFirst:
 // read-only data first; dirty replicas are never dropped silently since
-// they hold the only copy).
-func (c *Cache) evict(dev topology.DeviceID, need int64) error {
+// they hold the only copy). It frees what it can; the caller re-checks
+// the pool.
+func (c *Cache) evict(dev topology.DeviceID, need int64) {
 	pool := c.Plat.GPU(dev).Mem
 	l := c.lru[dev]
 	ev := c.evictor()
@@ -335,7 +381,7 @@ func (c *Cache) evict(dev topology.DeviceID, need int64) error {
 					panic(fmt.Sprintf("cache: evictor %q would drop dirty replica %v@%d",
 						ev.Name(), ent.tile.Key, dev))
 				}
-				c.dropReplica(ent.tile, dev)
+				c.dropReplica(ent.tile, dev, "eviction")
 				c.stats.Evictions++
 				if c.Decisions != nil {
 					c.Decisions.EvictClean++
@@ -346,11 +392,6 @@ func (c *Cache) evict(dev topology.DeviceID, need int64) error {
 		}
 		e = next
 	}
-	if pool.Available() < need {
-		return fmt.Errorf("cache: cannot evict %d bytes on GPU %d (used %d/%d, all pinned or dirty)",
-			need, dev, pool.Used(), pool.Capacity())
-	}
-	return nil
 }
 
 // evictor resolves the active eviction policy (nil → XKaapi default).
@@ -361,8 +402,9 @@ func (c *Cache) evictor() policy.Evictor {
 	return c.Evictor
 }
 
-// dropReplica removes the replica record and frees its memory.
-func (c *Cache) dropReplica(t *Tile, dev topology.DeviceID) {
+// dropReplica removes the replica record and frees its memory. reason
+// labels the transition for the auditor.
+func (c *Cache) dropReplica(t *Tile, dev topology.DeviceID, reason string) {
 	r := t.reps[dev]
 	if r == nil {
 		return
@@ -370,8 +412,12 @@ func (c *Cache) dropReplica(t *Tile, dev topology.DeviceID) {
 	if r.lruEl != nil {
 		c.lru[dev].Remove(r.lruEl)
 	}
-	c.Plat.GPU(dev).Mem.Free(t.Bytes)
+	pool := c.Plat.GPU(dev).Mem
+	pool.Free(t.Bytes)
 	delete(t.reps, dev)
+	if c.Audit != nil {
+		c.Audit.OnDrop(t.CheckID(), dev, pool.Used(), reason)
+	}
 }
 
 // StartTransfer begins moving the tile from src (a valid replica holder or
@@ -405,10 +451,16 @@ func (c *Cache) StartTransfer(t *Tile, src, dst topology.DeviceID, done func()) 
 	if inf == nil {
 		inf = &Inflight{Dst: dst}
 		t.inflight[dst] = inf
+		if c.Audit != nil {
+			c.Audit.OnInflightMark(t.CheckID(), dst, false)
+		}
 	}
 	inf.started = true
+	if c.Audit != nil {
+		c.Audit.OnTransferStart(t.CheckID(), src, dst)
+	}
 	if done != nil {
-		inf.waiters = append(inf.waiters, done)
+		inf.waiters = append(inf.waiters, func(error) { done() })
 	}
 	kind := PeerToPeer
 	if src == topology.Host {
@@ -435,6 +487,9 @@ func (c *Cache) completeTransfer(t *Tile, src, dst topology.DeviceID, kind Trans
 		}
 	}
 	r.valid = true
+	if c.Audit != nil {
+		c.Audit.OnReplicaValid(t.CheckID(), dst, "transfer")
+	}
 	if src != topology.Host {
 		c.Unpin(t, src)
 	}
@@ -451,9 +506,12 @@ func (c *Cache) completeTransfer(t *Tile, src, dst topology.DeviceID, kind Trans
 	}
 	inf := t.inflight[dst]
 	delete(t.inflight, dst)
+	if c.Audit != nil {
+		c.Audit.OnInflightResolve(t.CheckID(), dst)
+	}
 	c.Touch(t, dst)
 	for _, w := range inf.waiters {
-		w()
+		w(nil)
 	}
 }
 
@@ -471,15 +529,45 @@ func (c *Cache) serviceStart(src, dst topology.DeviceID, bytes int64, start, end
 
 // MarkInflight registers a synthetic under-transfer state to dst without
 // starting a platform transfer yet; the optimistic heuristic uses it to
-// chain a forward hop onto a pending arrival. CompleteSynthetic must be
-// called by the party that later makes the replica valid.
+// chain a forward hop onto a pending arrival. The party that planned the
+// chain must later either start the physical transfer to dst (making the
+// replica valid resolves the record) or cancel the record with
+// CancelInflight if the chain fails.
 func (c *Cache) MarkInflight(t *Tile, dst topology.DeviceID) *Inflight {
 	if t.InflightTo(dst) {
 		panic(fmt.Sprintf("cache: duplicate inflight mark for %v on %d", t.Key, dst))
 	}
 	inf := &Inflight{Dst: dst}
 	t.inflight[dst] = inf
+	if c.Audit != nil {
+		c.Audit.OnInflightMark(t.CheckID(), dst, true)
+	}
 	return inf
+}
+
+// CancelInflight removes a not-yet-started under-transfer record for dst —
+// the synthetic mark of a failed optimistic chain — and notifies its
+// waiters with err. Without this, an upstream-hop failure would leave
+// InflightTo(dst) true forever: every later consumer on dst would
+// piggyback on a transfer that can never complete, wedging the DAG.
+// Cancelling a record whose physical transfer already started panics
+// (physical transfers cannot fail in the model). Cancelling a missing
+// record is a no-op.
+func (c *Cache) CancelInflight(t *Tile, dst topology.DeviceID, err error) {
+	inf := t.inflight[dst]
+	if inf == nil {
+		return
+	}
+	if inf.started {
+		panic(fmt.Sprintf("cache: cancel of started transfer %v to %d", t.Key, dst))
+	}
+	delete(t.inflight, dst)
+	if c.Audit != nil {
+		c.Audit.OnInflightCancel(t.CheckID(), dst)
+	}
+	for _, w := range inf.waiters {
+		w(err)
+	}
 }
 
 // AllocRaw prepares a replica buffer on dev with undefined contents and
@@ -493,6 +581,9 @@ func (c *Cache) AllocRaw(t *Tile, dev topology.DeviceID) error {
 		return err
 	}
 	r.valid = true
+	if c.Audit != nil {
+		c.Audit.OnReplicaValid(t.CheckID(), dev, "alloc-raw")
+	}
 	return nil
 }
 
@@ -505,6 +596,9 @@ func (c *Cache) AllocForWrite(t *Tile, dev topology.DeviceID) error {
 		return err
 	}
 	r.valid = true
+	if c.Audit != nil {
+		c.Audit.OnReplicaValid(t.CheckID(), dev, "alloc-write")
+	}
 	c.MarkDirty(t, dev)
 	return nil
 }
@@ -525,10 +619,13 @@ func (c *Cache) MarkDirty(t *Tile, dev topology.DeviceID) {
 			// this; failing loudly beats silent corruption.
 			panic(fmt.Sprintf("cache: invalidating in-use replica %v@%d", t.Key, d))
 		}
-		c.dropReplica(t, d)
+		c.dropReplica(t, d, "write-invalidation")
 	}
 	r.dirty = true
 	t.hostValid = false
+	if c.Audit != nil {
+		c.Audit.OnMarkDirty(t.CheckID(), dev)
+	}
 }
 
 // FlushToHost writes the dirty replica back to host memory (DtoH path of
@@ -553,6 +650,9 @@ func (c *Cache) FlushToHost(t *Tile, done func()) {
 	}
 	t.flushing = true
 	c.Pin(t, dev)
+	if c.Audit != nil {
+		c.Audit.OnFlushStart(t.CheckID(), dev)
+	}
 	c.Plat.Transfer(dev, topology.Host, t.Bytes, func(start, end sim.Time) {
 		if c.Functional {
 			t.Host.CopyFrom(c.DeviceBuf(t, dev))
@@ -562,6 +662,9 @@ func (c *Cache) FlushToHost(t *Tile, done func()) {
 		r.dirty = false
 		t.hostValid = true
 		t.flushing = false
+		if c.Audit != nil {
+			c.Audit.OnFlushed(t.CheckID(), dev)
+		}
 		c.stats.D2HBytes += t.Bytes
 		c.stats.D2HCount++
 		if c.Observer != nil {
@@ -584,7 +687,7 @@ func (c *Cache) DropClean(t *Tile, dev topology.DeviceID) {
 	if r == nil || r.dirty || r.pins > 0 || t.InflightTo(dev) {
 		return
 	}
-	c.dropReplica(t, dev)
+	c.dropReplica(t, dev, "drop-clean")
 }
 
 // Invalidate drops every device replica of a clean tile (host must be
@@ -597,6 +700,21 @@ func (c *Cache) Invalidate(t *Tile) {
 		if r.pins > 0 || t.InflightTo(d) {
 			panic(fmt.Sprintf("cache: invalidating in-use replica %v@%d", t.Key, d))
 		}
-		c.dropReplica(t, d)
+		c.dropReplica(t, d, "invalidate")
 	}
+}
+
+// AuditDrain, with an auditor attached, reports the final per-device pool
+// occupancy and runs the quiescent-state checks (balanced pins, no stale
+// inflight records, host validity consistent with DirtyOn). Call it only
+// when the runtime has drained cleanly: a failed run legitimately leaves
+// pins and inflight records unbalanced.
+func (c *Cache) AuditDrain() {
+	if c.Audit == nil {
+		return
+	}
+	for i, g := range c.Plat.GPUs {
+		c.Audit.PoolAtDrain(topology.DeviceID(i), g.Mem.Used())
+	}
+	c.Audit.OnDrain()
 }

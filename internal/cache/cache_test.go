@@ -171,12 +171,12 @@ func TestOptimisticChainViaMarkInflight(t *testing.T) {
 		t.Fatal("synthetic inflight not visible")
 	}
 	arrived := false
-	tl.AddInflightWaiter(0, func() {
+	tl.AddInflightWaiter(0, func(error) {
 		if err := c.StartTransfer(tl, 0, 3, func() { arrived = true }); err != nil {
 			t.Fatal(err)
 		}
 	})
-	tl.AddInflightWaiter(3, func() {})
+	tl.AddInflightWaiter(3, func(error) {})
 	eng.Run()
 	if !arrived || !tl.ValidOn(3) {
 		t.Fatal("chained transfer did not complete")

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"xkblas/internal/check"
 	"xkblas/internal/device"
 	"xkblas/internal/matrix"
 	"xkblas/internal/sim"
@@ -47,6 +48,10 @@ func fuzzOnce(t *testing.T, seed int64) {
 		g.Mem = device.NewMemPool(tileBytes*3 + 16)
 	}
 	c := New(plat, true)
+	// Record-mode auditor: every transition the fuzzer drives is also
+	// replayed against the shadow protocol model.
+	audit := check.New(false)
+	c.Audit = audit
 	st := &fuzzState{eng: eng, plat: plat, c: c}
 	const nTiles = 6
 	for i := 0; i < nTiles; i++ {
@@ -139,6 +144,16 @@ func fuzzOnce(t *testing.T, seed int64) {
 		if got := tl.Host.At(0, 0); got != want {
 			t.Fatalf("seed %d: tile %d final host value %g, want %g", seed, i, got, want)
 		}
+	}
+	// Quiescent state: everything flushed and settled, so the auditor's
+	// drain checks must hold, and the whole run must be violation-free.
+	c.AuditDrain()
+	if !audit.Ok() {
+		t.Fatalf("seed %d: auditor flagged %d violations; first: %v",
+			seed, len(audit.Violations()), audit.Violations()[0])
+	}
+	if audit.Events() == 0 {
+		t.Fatalf("seed %d: auditor saw no events — hooks not wired", seed)
 	}
 }
 

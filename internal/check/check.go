@@ -1,0 +1,475 @@
+// Package check is the runtime coherence-invariant auditor: an
+// always-compiled, flag-enabled verifier of the MOSI-like protocol the
+// cache and runtime implement (§III-A/§III-C). The cache and runtime report
+// every state transition — replica allocation/validation/drop, pin
+// balance, dirty transitions, in-flight registration/resolution, flushes,
+// kernel launch/retire — and the auditor replays them against an
+// independent shadow model, flagging any transition the protocol forbids.
+//
+// The auditor is pure observation: it never touches cache or runtime
+// state, performs no allocation-order-dependent work, and uses no
+// randomness, so an audited simulation is bit-identical to an unaudited
+// one. In strict mode a violation panics at the transition that caused it
+// (the sweep harness converts the panic into a per-point error); in record
+// mode violations accumulate for inspection, which is how the mutation
+// self-tests assert that deliberately seeded protocol breaks are caught.
+//
+// Checked invariants (DESIGN.md §8):
+//
+//  1. single-writer: at most one dirty replica per tile, a dirty replica
+//     is valid, and MarkDirty finds no other valid replica left;
+//  2. host validity: the host copy is invalid exactly while one dirty
+//     replica exists; a host-sourced transfer requires a valid host copy;
+//  3. safe eviction: a dropped replica is never pinned, never dirty (the
+//     sole copy of its version) and never the target of a transfer;
+//  4. balanced pins: pins never go negative, pin requires a valid
+//     replica, and every pin is released by the time the runtime drains;
+//  5. in-flight lifecycle: at most one under-transfer record per
+//     destination, transfers start on a registered record, and every
+//     record — including the synthetic marks of optimistic chains — is
+//     resolved or cancelled by drain;
+//  6. memory accounting: per-device pool usage equals the shadow sum of
+//     resident replica bytes after every allocation and release;
+//  7. staging: a kernel launches only with every operand valid and pinned
+//     on its device, and every launch retires by drain.
+package check
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"xkblas/internal/topology"
+)
+
+// TileID identifies one tile of one registered matrix, mirroring the
+// cache's tile key without importing it (the cache imports this package).
+type TileID struct {
+	Mat, I, J int
+}
+
+func (t TileID) String() string { return fmt.Sprintf("m%d[%d,%d]", t.Mat, t.I, t.J) }
+
+// Access describes one kernel operand for the launch check.
+type Access struct {
+	Tile   TileID
+	Reads  bool
+	Writes bool
+}
+
+// Violation is one detected invariant break.
+type Violation struct {
+	// Code names the broken invariant (e.g. "double-dirty",
+	// "drop-pinned", "pool-mismatch"); the mutation self-tests key on it.
+	Code string
+	Tile TileID
+	Dev  topology.DeviceID
+	Msg  string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("check: [%s] %v@%d: %s", v.Code, v.Tile, v.Dev, v.Msg)
+}
+
+// Global audit counters, aggregated across every auditor instance so the
+// parallel sweep harness can report a fleet-wide summary (xkbench -check).
+var (
+	globalDrains     atomic.Int64
+	globalViolations atomic.Int64
+)
+
+// Stats reports how many runs have drained under audit and how many
+// violations were detected, process-wide.
+func Stats() (runsAudited, violations int64) {
+	return globalDrains.Load(), globalViolations.Load()
+}
+
+// replicaShadow is the auditor's model of one per-device replica.
+type replicaShadow struct {
+	valid bool
+	dirty bool
+	pins  int
+	bytes int64
+}
+
+// inflightShadow is the auditor's model of one under-transfer record.
+type inflightShadow struct {
+	started bool
+}
+
+// tileShadow is the auditor's model of one tile.
+type tileShadow struct {
+	id        TileID
+	hostValid bool
+	reps      map[topology.DeviceID]*replicaShadow
+	inflight  map[topology.DeviceID]*inflightShadow
+	flushing  bool
+}
+
+// Auditor verifies the coherence protocol from reported transitions. One
+// auditor audits one simulation; instances are not safe for concurrent use
+// (simulations are single-threaded), but distinct instances may run on
+// separate goroutines.
+type Auditor struct {
+	// Strict panics on the first violation instead of recording it.
+	Strict bool
+
+	tiles    map[TileID]*tileShadow
+	devBytes map[topology.DeviceID]int64
+	kernels  map[int]topology.DeviceID // outstanding launches by task id
+
+	violations []Violation
+	events     int64
+}
+
+// New returns an auditor; strict selects panic-on-violation mode.
+func New(strict bool) *Auditor {
+	return &Auditor{
+		Strict:   strict,
+		tiles:    make(map[TileID]*tileShadow),
+		devBytes: make(map[topology.DeviceID]int64),
+		kernels:  make(map[int]topology.DeviceID),
+	}
+}
+
+// Violations returns the recorded violations (record mode).
+func (a *Auditor) Violations() []Violation { return a.violations }
+
+// Ok reports whether no violation has been detected.
+func (a *Auditor) Ok() bool { return len(a.violations) == 0 }
+
+// Events reports how many transitions have been audited.
+func (a *Auditor) Events() int64 { return a.events }
+
+func (a *Auditor) violate(code string, tile TileID, dev topology.DeviceID, format string, args ...interface{}) {
+	v := Violation{Code: code, Tile: tile, Dev: dev, Msg: fmt.Sprintf(format, args...)}
+	globalViolations.Add(1)
+	if a.Strict {
+		panic(v.String())
+	}
+	a.violations = append(a.violations, v)
+}
+
+// shadow returns (creating on first sight) the tile's shadow record. A
+// fresh tile is valid on the host only, matching cache.NewTile.
+func (a *Auditor) shadow(tile TileID) *tileShadow {
+	s, ok := a.tiles[tile]
+	if !ok {
+		s = &tileShadow{
+			id:        tile,
+			hostValid: true,
+			reps:      make(map[topology.DeviceID]*replicaShadow),
+			inflight:  make(map[topology.DeviceID]*inflightShadow),
+		}
+		a.tiles[tile] = s
+	}
+	return s
+}
+
+// otherValid reports whether a valid replica exists on a device other
+// than dev.
+func (s *tileShadow) otherValid(dev topology.DeviceID) bool {
+	for d, r := range s.reps {
+		if d != dev && r.valid {
+			return true
+		}
+	}
+	return false
+}
+
+// dirtyCount returns how many dirty replicas the shadow holds and the
+// device of the last one seen.
+func (s *tileShadow) dirtyCount() (n int, on topology.DeviceID) {
+	on = -1
+	for d, r := range s.reps {
+		if r.dirty {
+			n++
+			on = d
+		}
+	}
+	return n, on
+}
+
+// checkPool verifies the device pool against the shadow byte sum.
+func (a *Auditor) checkPool(tile TileID, dev topology.DeviceID, poolUsed int64) {
+	if a.devBytes[dev] != poolUsed {
+		a.violate("pool-mismatch", tile, dev,
+			"device pool reports %d bytes used, shadow replica sum is %d",
+			poolUsed, a.devBytes[dev])
+		// Resynchronize so one accounting bug is reported once, not at
+		// every subsequent allocation.
+		a.devBytes[dev] = poolUsed
+	}
+}
+
+// OnAlloc reports a replica record created (invalid, buffer reserved) on
+// dev. poolUsed is the device pool occupancy after the allocation.
+func (a *Auditor) OnAlloc(tile TileID, dev topology.DeviceID, bytes, poolUsed int64) {
+	a.events++
+	s := a.shadow(tile)
+	if _, ok := s.reps[dev]; ok {
+		a.violate("double-alloc", tile, dev, "replica allocated twice")
+		return
+	}
+	s.reps[dev] = &replicaShadow{bytes: bytes}
+	a.devBytes[dev] += bytes
+	a.checkPool(tile, dev, poolUsed)
+}
+
+// OnDrop reports a replica removed from dev (eviction, invalidation or
+// streaming drop). poolUsed is the pool occupancy after the release.
+func (a *Auditor) OnDrop(tile TileID, dev topology.DeviceID, poolUsed int64, reason string) {
+	a.events++
+	s := a.shadow(tile)
+	r, ok := s.reps[dev]
+	if !ok {
+		a.violate("drop-unknown", tile, dev, "%s of replica never allocated", reason)
+		return
+	}
+	if r.pins > 0 {
+		a.violate("drop-pinned", tile, dev, "%s of replica with %d pins", reason, r.pins)
+	}
+	if r.dirty && !(reason == "write-invalidation" && s.otherValid(dev)) {
+		// A dirty replica is the sole copy of its version — except under
+		// write-invalidation, where the new writer's replica (valid, about
+		// to turn dirty) was sourced from this one and supersedes it.
+		a.violate("drop-dirty", tile, dev, "%s of dirty replica (sole copy of its version)", reason)
+	}
+	if _, infl := s.inflight[dev]; infl {
+		a.violate("drop-inflight", tile, dev, "%s of replica with a transfer pending to it", reason)
+	}
+	a.devBytes[dev] -= r.bytes
+	delete(s.reps, dev)
+	a.checkPool(tile, dev, poolUsed)
+}
+
+// OnReplicaValid reports a replica on dev becoming valid, either by
+// transfer completion or by write-only allocation (via names the path).
+func (a *Auditor) OnReplicaValid(tile TileID, dev topology.DeviceID, via string) {
+	a.events++
+	s := a.shadow(tile)
+	r, ok := s.reps[dev]
+	if !ok {
+		a.violate("valid-unallocated", tile, dev, "%s validated a replica never allocated", via)
+		return
+	}
+	r.valid = true
+}
+
+// OnPin reports one pin taken on dev's replica.
+func (a *Auditor) OnPin(tile TileID, dev topology.DeviceID) {
+	a.events++
+	s := a.shadow(tile)
+	r, ok := s.reps[dev]
+	if !ok || !r.valid {
+		a.violate("pin-invalid", tile, dev, "pin of missing or invalid replica")
+		return
+	}
+	r.pins++
+}
+
+// OnUnpin reports one pin released on dev's replica.
+func (a *Auditor) OnUnpin(tile TileID, dev topology.DeviceID) {
+	a.events++
+	s := a.shadow(tile)
+	r, ok := s.reps[dev]
+	if !ok || r.pins <= 0 {
+		a.violate("unpin-unbalanced", tile, dev, "unpin without a matching pin")
+		return
+	}
+	r.pins--
+}
+
+// OnMarkDirty reports the single-writer transition: dev modified its
+// replica; every other copy (device and host) must already be gone.
+func (a *Auditor) OnMarkDirty(tile TileID, dev topology.DeviceID) {
+	a.events++
+	s := a.shadow(tile)
+	r, ok := s.reps[dev]
+	if !ok || !r.valid {
+		a.violate("dirty-invalid", tile, dev, "MarkDirty on missing or invalid replica")
+		return
+	}
+	for d, other := range s.reps {
+		if d == dev {
+			continue
+		}
+		if other.dirty {
+			a.violate("double-dirty", tile, dev, "second dirty replica (first on %d)", d)
+		} else if other.valid {
+			a.violate("dirty-share", tile, dev, "stale valid replica on %d survived the write", d)
+		}
+	}
+	r.dirty = true
+	s.hostValid = false
+}
+
+// OnFlushStart reports the beginning of a dirty write-back from dev.
+func (a *Auditor) OnFlushStart(tile TileID, dev topology.DeviceID) {
+	a.events++
+	s := a.shadow(tile)
+	r, ok := s.reps[dev]
+	if !ok || !r.dirty {
+		a.violate("flush-clean", tile, dev, "flush started from a non-dirty replica")
+		return
+	}
+	s.flushing = true
+}
+
+// OnFlushed reports a completed write-back: dev's replica turns clean and
+// the host copy becomes valid again (Owned -> Shared).
+func (a *Auditor) OnFlushed(tile TileID, dev topology.DeviceID) {
+	a.events++
+	s := a.shadow(tile)
+	r, ok := s.reps[dev]
+	if !ok || !r.dirty {
+		a.violate("flush-clean", tile, dev, "flush completion from a non-dirty replica")
+		return
+	}
+	r.dirty = false
+	s.hostValid = true
+	s.flushing = false
+}
+
+// OnInflightMark reports an under-transfer record registered for dev
+// (synthetic marks come from the optimistic chain planner).
+func (a *Auditor) OnInflightMark(tile TileID, dev topology.DeviceID, synthetic bool) {
+	a.events++
+	s := a.shadow(tile)
+	if _, ok := s.inflight[dev]; ok {
+		a.violate("double-inflight", tile, dev, "second under-transfer record (synthetic=%v)", synthetic)
+		return
+	}
+	s.inflight[dev] = &inflightShadow{}
+}
+
+// OnTransferStart reports a physical transfer src->dst beginning; the
+// under-transfer record for dst must exist and not be started yet.
+func (a *Auditor) OnTransferStart(tile TileID, src, dst topology.DeviceID) {
+	a.events++
+	s := a.shadow(tile)
+	inf, ok := s.inflight[dst]
+	switch {
+	case !ok:
+		a.violate("transfer-unmarked", tile, dst, "transfer started without an under-transfer record")
+	case inf.started:
+		a.violate("double-transfer", tile, dst, "second physical transfer to the same destination")
+	default:
+		inf.started = true
+	}
+	if r, ok := s.reps[dst]; ok && r.valid {
+		a.violate("transfer-to-valid", tile, dst, "transfer to an already-valid replica")
+	}
+	if src == topology.Host {
+		if !s.hostValid {
+			a.violate("transfer-src-host-invalid", tile, dst, "host-sourced transfer while the host copy is invalid")
+		}
+		return
+	}
+	if r, ok := s.reps[src]; !ok || !r.valid {
+		a.violate("transfer-src-invalid", tile, src, "transfer sourced from a missing or invalid replica")
+	}
+}
+
+// OnInflightResolve reports the under-transfer record for dev resolved
+// (the replica became valid there).
+func (a *Auditor) OnInflightResolve(tile TileID, dev topology.DeviceID) {
+	a.events++
+	s := a.shadow(tile)
+	if _, ok := s.inflight[dev]; !ok {
+		a.violate("resolve-unmarked", tile, dev, "resolution of an under-transfer record never registered")
+		return
+	}
+	delete(s.inflight, dev)
+}
+
+// OnInflightCancel reports a never-started under-transfer record removed
+// because its upstream hop failed.
+func (a *Auditor) OnInflightCancel(tile TileID, dev topology.DeviceID) {
+	a.events++
+	s := a.shadow(tile)
+	inf, ok := s.inflight[dev]
+	if !ok {
+		a.violate("cancel-unmarked", tile, dev, "cancellation of an under-transfer record never registered")
+		return
+	}
+	if inf.started {
+		a.violate("cancel-started", tile, dev, "cancellation of a transfer already on the wire")
+	}
+	delete(s.inflight, dev)
+}
+
+// OnKernelLaunch reports a kernel starting on dev: every operand must be
+// staged (valid) and pinned there.
+func (a *Auditor) OnKernelLaunch(task int, dev topology.DeviceID, accs []Access) {
+	a.events++
+	if _, ok := a.kernels[task]; ok {
+		a.violate("double-launch", TileID{}, dev, "task %d launched twice", task)
+	}
+	a.kernels[task] = dev
+	for _, acc := range accs {
+		s := a.shadow(acc.Tile)
+		r, ok := s.reps[dev]
+		if !ok || !r.valid {
+			a.violate("launch-unstaged", acc.Tile, dev, "task %d launched with operand not valid on its device", task)
+			continue
+		}
+		if r.pins <= 0 {
+			a.violate("launch-unpinned", acc.Tile, dev, "task %d launched with operand not pinned", task)
+		}
+	}
+}
+
+// OnKernelRetire reports a kernel completion.
+func (a *Auditor) OnKernelRetire(task int, dev topology.DeviceID) {
+	a.events++
+	d, ok := a.kernels[task]
+	if !ok {
+		a.violate("retire-unknown", TileID{}, dev, "task %d retired without a launch", task)
+		return
+	}
+	if d != dev {
+		a.violate("retire-device", TileID{}, dev, "task %d launched on %d but retired on %d", task, d, dev)
+	}
+	delete(a.kernels, task)
+}
+
+// PoolAtDrain verifies one device pool against the shadow sum at a
+// quiescent point.
+func (a *Auditor) PoolAtDrain(dev topology.DeviceID, poolUsed int64) {
+	a.events++
+	a.checkPool(TileID{}, dev, poolUsed)
+}
+
+// OnDrain verifies the quiescent-state invariants after a barrier: pins
+// balanced, every under-transfer record resolved, every launch retired,
+// flushes complete, and host validity consistent with the dirty state.
+func (a *Auditor) OnDrain() {
+	a.events++
+	for id, s := range a.tiles {
+		for d, r := range s.reps {
+			if r.pins != 0 {
+				a.violate("pin-leak", id, d, "%d pins still held at drain", r.pins)
+			}
+			if r.dirty && !r.valid {
+				a.violate("dirty-invalid", id, d, "dirty but invalid replica at drain")
+			}
+		}
+		for d := range s.inflight {
+			a.violate("inflight-leak", id, d, "under-transfer record never resolved")
+		}
+		if s.flushing {
+			a.violate("flush-leak", id, -1, "flush still marked in progress at drain")
+		}
+		n, on := s.dirtyCount()
+		switch {
+		case s.hostValid && n != 0:
+			a.violate("host-dirty-mismatch", id, on, "host valid with %d dirty replicas", n)
+		case !s.hostValid && n != 1:
+			a.violate("host-dirty-mismatch", id, on, "host invalid with %d dirty replicas", n)
+		}
+	}
+	for task, dev := range a.kernels {
+		a.violate("kernel-leak", TileID{}, dev, "task %d launched but never retired", task)
+	}
+	globalDrains.Add(1)
+}

@@ -1,0 +1,283 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"xkblas/internal/topology"
+)
+
+// tid is the single tile most scenarios use.
+var tid = TileID{Mat: 0, I: 0, J: 0}
+
+const tb = int64(1024) // tile bytes
+
+// allocValid shorthand: replica allocated and validated on dev.
+func allocValid(a *Auditor, dev topology.DeviceID, used int64) {
+	a.OnAlloc(tid, dev, tb, used)
+	a.OnReplicaValid(tid, dev, "test")
+}
+
+// TestMutationsCaught seeds one deliberate protocol violation per scenario
+// and requires the auditor to flag it with the expected code — the
+// checker-checking half of the stress harness: a checker that misses any
+// of these is broken.
+func TestMutationsCaught(t *testing.T) {
+	cases := []struct {
+		name string
+		want string // violation code
+		run  func(a *Auditor)
+	}{
+		{"double alloc", "double-alloc", func(a *Auditor) {
+			a.OnAlloc(tid, 0, tb, tb)
+			a.OnAlloc(tid, 0, tb, 2*tb)
+		}},
+		{"pool accounting mismatch", "pool-mismatch", func(a *Auditor) {
+			a.OnAlloc(tid, 0, tb, tb+1)
+		}},
+		{"drop of unallocated replica", "drop-unknown", func(a *Auditor) {
+			a.OnDrop(tid, 0, 0, "eviction")
+		}},
+		{"eviction of pinned replica", "drop-pinned", func(a *Auditor) {
+			allocValid(a, 0, tb)
+			a.OnPin(tid, 0)
+			a.OnDrop(tid, 0, 0, "eviction")
+		}},
+		{"eviction of dirty replica", "drop-dirty", func(a *Auditor) {
+			allocValid(a, 0, tb)
+			a.OnMarkDirty(tid, 0)
+			a.OnDrop(tid, 0, 0, "eviction")
+		}},
+		{"write-invalidation of sole dirty copy", "drop-dirty", func(a *Auditor) {
+			// Legal write-invalidation needs a surviving valid replica on
+			// another device; with none, the version is lost.
+			allocValid(a, 0, tb)
+			a.OnMarkDirty(tid, 0)
+			a.OnDrop(tid, 0, 0, "write-invalidation")
+		}},
+		{"drop of transfer destination", "drop-inflight", func(a *Auditor) {
+			allocValid(a, 0, tb)
+			a.OnInflightMark(tid, 0, false)
+			a.OnDrop(tid, 0, 0, "eviction")
+		}},
+		{"validation without allocation", "valid-unallocated", func(a *Auditor) {
+			a.OnReplicaValid(tid, 0, "transfer")
+		}},
+		{"pin of invalid replica", "pin-invalid", func(a *Auditor) {
+			a.OnAlloc(tid, 0, tb, tb)
+			a.OnPin(tid, 0) // allocated but never validated
+		}},
+		{"unbalanced unpin", "unpin-unbalanced", func(a *Auditor) {
+			allocValid(a, 0, tb)
+			a.OnUnpin(tid, 0)
+		}},
+		{"MarkDirty on invalid replica", "dirty-invalid", func(a *Auditor) {
+			a.OnAlloc(tid, 0, tb, tb)
+			a.OnMarkDirty(tid, 0)
+		}},
+		{"second writer", "double-dirty", func(a *Auditor) {
+			allocValid(a, 0, tb)
+			a.OnMarkDirty(tid, 0)
+			allocValid(a, 1, tb)
+			a.OnMarkDirty(tid, 1) // dirty replica on 0 never dropped
+		}},
+		{"stale shared copy survives write", "dirty-share", func(a *Auditor) {
+			allocValid(a, 0, tb)
+			allocValid(a, 1, tb)
+			a.OnMarkDirty(tid, 1) // valid replica on 0 never dropped
+		}},
+		{"flush of clean replica", "flush-clean", func(a *Auditor) {
+			allocValid(a, 0, tb)
+			a.OnFlushStart(tid, 0)
+		}},
+		{"flush completion on clean replica", "flush-clean", func(a *Auditor) {
+			allocValid(a, 0, tb)
+			a.OnFlushed(tid, 0)
+		}},
+		{"duplicate under-transfer record", "double-inflight", func(a *Auditor) {
+			a.OnInflightMark(tid, 0, false)
+			a.OnInflightMark(tid, 0, true)
+		}},
+		{"transfer without a record", "transfer-unmarked", func(a *Auditor) {
+			a.OnAlloc(tid, 0, tb, tb)
+			a.OnTransferStart(tid, topology.Host, 0)
+		}},
+		{"duplicate physical transfer", "double-transfer", func(a *Auditor) {
+			a.OnAlloc(tid, 0, tb, tb)
+			a.OnInflightMark(tid, 0, false)
+			a.OnTransferStart(tid, topology.Host, 0)
+			a.OnTransferStart(tid, topology.Host, 0)
+		}},
+		{"transfer to valid replica", "transfer-to-valid", func(a *Auditor) {
+			allocValid(a, 0, tb)
+			a.OnInflightMark(tid, 0, false)
+			a.OnTransferStart(tid, topology.Host, 0)
+		}},
+		{"host-sourced transfer while host invalid", "transfer-src-host-invalid", func(a *Auditor) {
+			allocValid(a, 0, tb)
+			a.OnMarkDirty(tid, 0) // host copy now stale
+			a.OnAlloc(tid, 1, tb, tb)
+			a.OnInflightMark(tid, 1, false)
+			a.OnTransferStart(tid, topology.Host, 1)
+		}},
+		{"transfer from invalid peer", "transfer-src-invalid", func(a *Auditor) {
+			a.OnAlloc(tid, 1, tb, tb)
+			a.OnInflightMark(tid, 1, false)
+			a.OnTransferStart(tid, 0, 1) // GPU 0 holds nothing
+		}},
+		{"resolution without a record", "resolve-unmarked", func(a *Auditor) {
+			a.OnInflightResolve(tid, 0)
+		}},
+		{"cancellation without a record", "cancel-unmarked", func(a *Auditor) {
+			a.OnInflightCancel(tid, 0)
+		}},
+		{"cancellation of started transfer", "cancel-started", func(a *Auditor) {
+			a.OnAlloc(tid, 0, tb, tb)
+			a.OnInflightMark(tid, 0, true)
+			a.OnTransferStart(tid, topology.Host, 0)
+			a.OnInflightCancel(tid, 0)
+		}},
+		{"kernel launch with unstaged operand", "launch-unstaged", func(a *Auditor) {
+			a.OnKernelLaunch(7, 0, []Access{{Tile: tid, Reads: true}})
+		}},
+		{"kernel launch with unpinned operand", "launch-unpinned", func(a *Auditor) {
+			allocValid(a, 0, tb)
+			a.OnKernelLaunch(7, 0, []Access{{Tile: tid, Reads: true}})
+		}},
+		{"double launch", "double-launch", func(a *Auditor) {
+			allocValid(a, 0, tb)
+			a.OnPin(tid, 0)
+			a.OnKernelLaunch(7, 0, []Access{{Tile: tid, Reads: true}})
+			a.OnKernelLaunch(7, 0, []Access{{Tile: tid, Reads: true}})
+		}},
+		{"retire without launch", "retire-unknown", func(a *Auditor) {
+			a.OnKernelRetire(7, 0)
+		}},
+		{"retire on wrong device", "retire-device", func(a *Auditor) {
+			allocValid(a, 0, tb)
+			a.OnPin(tid, 0)
+			a.OnKernelLaunch(7, 0, []Access{{Tile: tid, Reads: true}})
+			a.OnKernelRetire(7, 3)
+		}},
+		{"pool mismatch at drain", "pool-mismatch", func(a *Auditor) {
+			allocValid(a, 0, tb)
+			a.PoolAtDrain(0, tb+5)
+		}},
+		{"pin held at drain", "pin-leak", func(a *Auditor) {
+			allocValid(a, 0, tb)
+			a.OnPin(tid, 0)
+			a.OnDrain()
+		}},
+		{"under-transfer record at drain", "inflight-leak", func(a *Auditor) {
+			a.OnInflightMark(tid, 0, true)
+			a.OnDrain()
+		}},
+		{"flush in progress at drain", "flush-leak", func(a *Auditor) {
+			allocValid(a, 0, tb)
+			a.OnMarkDirty(tid, 0)
+			a.OnFlushStart(tid, 0)
+			a.OnDrain()
+		}},
+		{"host validity inconsistent with dirty state", "host-dirty-mismatch", func(a *Auditor) {
+			// Losing the sole dirty copy leaves the host invalid with no
+			// dirty replica anywhere: the version is unrecoverable.
+			allocValid(a, 0, tb)
+			a.OnMarkDirty(tid, 0)
+			a.OnDrop(tid, 0, 0, "eviction")
+			a.OnDrain()
+		}},
+		{"kernel never retired", "kernel-leak", func(a *Auditor) {
+			allocValid(a, 0, tb)
+			a.OnPin(tid, 0)
+			a.OnKernelLaunch(7, 0, []Access{{Tile: tid, Reads: true}})
+			a.OnDrain()
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := New(false)
+			tc.run(a)
+			found := false
+			for _, v := range a.Violations() {
+				if v.Code == tc.want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("auditor missed the seeded %q violation; recorded: %v", tc.want, a.Violations())
+			}
+		})
+	}
+}
+
+// TestCleanProtocolRuns replays legal transition sequences and requires
+// zero violations, including the write-invalidation case where dropping a
+// dirty replica is allowed because the new writer's copy supersedes it.
+func TestCleanProtocolRuns(t *testing.T) {
+	t.Run("fetch compute flush", func(t *testing.T) {
+		a := New(false)
+		a.OnAlloc(tid, 0, tb, tb)
+		a.OnInflightMark(tid, 0, false)
+		a.OnTransferStart(tid, topology.Host, 0)
+		a.OnReplicaValid(tid, 0, "transfer")
+		a.OnInflightResolve(tid, 0)
+		a.OnPin(tid, 0)
+		a.OnKernelLaunch(1, 0, []Access{{Tile: tid, Reads: true, Writes: true}})
+		a.OnMarkDirty(tid, 0)
+		a.OnUnpin(tid, 0)
+		a.OnKernelRetire(1, 0)
+		a.OnFlushStart(tid, 0)
+		a.OnFlushed(tid, 0)
+		a.OnDrop(tid, 0, 0, "eviction")
+		a.PoolAtDrain(0, 0)
+		a.OnDrain()
+		if !a.Ok() {
+			t.Fatalf("clean sequence flagged: %v", a.Violations())
+		}
+	})
+	t.Run("write invalidation of previous owner", func(t *testing.T) {
+		a := New(false)
+		allocValid(a, 0, tb)
+		a.OnMarkDirty(tid, 0) // version 1 lives on GPU 0
+		// GPU 1 fetches the dirty version, overwrites it, and invalidates 0.
+		a.OnAlloc(tid, 1, tb, tb)
+		a.OnInflightMark(tid, 1, false)
+		a.OnTransferStart(tid, 0, 1)
+		a.OnReplicaValid(tid, 1, "transfer")
+		a.OnInflightResolve(tid, 1)
+		a.OnDrop(tid, 0, 0, "write-invalidation")
+		a.OnMarkDirty(tid, 1)
+		a.OnDrain()
+		if !a.Ok() {
+			t.Fatalf("legal write-invalidation flagged: %v", a.Violations())
+		}
+	})
+	t.Run("synthetic chain cancel", func(t *testing.T) {
+		a := New(false)
+		a.OnInflightMark(tid, 3, true)
+		a.OnInflightCancel(tid, 3)
+		a.OnDrain()
+		if !a.Ok() {
+			t.Fatalf("legal chain cancellation flagged: %v", a.Violations())
+		}
+	})
+}
+
+// TestStrictModePanics verifies strict mode turns the first violation into
+// a panic carrying the violation text (the sweep harness recovers it into
+// a per-point error).
+func TestStrictModePanics(t *testing.T) {
+	a := New(true)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("strict auditor did not panic on a violation")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "double-alloc") {
+			t.Fatalf("panic payload %v does not name the violation", r)
+		}
+	}()
+	a.OnAlloc(tid, 0, tb, tb)
+	a.OnAlloc(tid, 0, tb, 2*tb)
+}

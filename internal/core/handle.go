@@ -12,6 +12,7 @@ import (
 
 	"xkblas/internal/blasops"
 	"xkblas/internal/cache"
+	"xkblas/internal/check"
 	"xkblas/internal/device"
 	"xkblas/internal/matrix"
 	"xkblas/internal/sim"
@@ -52,6 +53,11 @@ type Config struct {
 	Links device.LinkModel
 	// Runtime options (heuristics, scheduler, window).
 	Options xkrt.Options
+	// Check attaches the strict coherence-invariant auditor
+	// (internal/check) to the runtime: every cache and scheduler state
+	// transition is verified and the first violation panics, which the
+	// measurement harness converts into a per-point error.
+	Check bool
 }
 
 // Handle is an XKBLAS library context bound to one simulated platform.
@@ -77,6 +83,9 @@ func NewHandle(cfg Config) *Handle {
 	eng := sim.NewEngine()
 	plat := device.NewPlatformWithLinks(eng, cfg.Platform, cfg.Links)
 	rt := xkrt.New(eng, plat, cfg.Functional, cfg.Options)
+	if cfg.Check {
+		rt.AttachAuditor(check.New(true))
+	}
 	return &Handle{Eng: eng, Plat: plat, RT: rt, NB: cfg.TileSize}
 }
 

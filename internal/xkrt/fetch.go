@@ -1,6 +1,7 @@
 package xkrt
 
 import (
+	"errors"
 	"fmt"
 
 	"xkblas/internal/cache"
@@ -30,12 +31,20 @@ func (rt *Runtime) fetchInput(t *Task, tile *cache.Tile, dev topology.DeviceID) 
 // requestReplica is the shared fetch-planning prologue of kernel-input
 // staging and prefetch: piggyback on a transfer already headed to dev, or
 // let the source policy choose where the replica comes from and issue the
-// movement. arrived runs once the replica is valid on dev.
+// movement. arrived runs once the replica is valid on dev; if the transfer
+// chain feeding dev fails instead, the run is failed and arrived never
+// fires.
 func (rt *Runtime) requestReplica(tile *cache.Tile, dev topology.DeviceID, arrived func()) {
 	if tile.InflightTo(dev) {
 		// Another consumer on this device already requested the tile:
 		// piggyback, never duplicate a transfer.
-		tile.AddInflightWaiter(dev, arrived)
+		tile.AddInflightWaiter(dev, func(err error) {
+			if err != nil {
+				rt.fail(err)
+				return
+			}
+			arrived()
+		})
 		return
 	}
 	src, chained := rt.selectSource(tile, dev)
@@ -66,18 +75,70 @@ func (rt *Runtime) issueFetch(tile *cache.Tile, src topology.DeviceID, dst topol
 		}
 		rt.decisions.CountTransfer(rt.Plat.Topo, src, dst)
 		if err := rt.Cache.StartTransfer(tile, src, dst, done); err != nil {
+			if errors.Is(err, cache.ErrDeviceOOM) {
+				rt.fail(fmt.Errorf("xkrt: fetch of %v to GPU %d: %w", tile.Key, dst, err))
+				return
+			}
 			panic(fmt.Sprintf("xkrt: %v", err))
 		}
 		return
 	}
 	rt.stats.ChainedHops++
 	rt.Cache.MarkInflight(tile, dst)
-	tile.AddInflightWaiter(src, func() {
-		// The upstream hop has landed on src; forward over the (fast)
-		// peer link. src is necessarily valid now.
-		rt.stats.PeerSources++
+	rt.armChainHop(tile, src, dst, done)
+}
+
+// armChainHop waits for the upstream hop of an optimistic chain to land on
+// src, then forwards the tile to dst over the peer link. The synthetic
+// under-transfer record on dst was registered by issueFetch; armChainHop
+// owns it from here: the physical StartTransfer adopts it on the normal
+// path, and every failure path cancels it so downstream piggybackers are
+// notified instead of wedged (a cancelled chain used to leave InflightTo
+// true forever).
+//
+// src being valid when the waiter fires is NOT guaranteed: waiters run in
+// registration order, and an earlier waiter of the same arrival can launch
+// a kernel whose allocation evicts the just-arrived, unpinned replica on
+// src before our StartTransfer runs. The waiter therefore re-validates src
+// and, if the replica is gone, re-selects a source — possibly another
+// in-flight destination, in which case the chain re-arms on it without
+// re-marking dst.
+func (rt *Runtime) armChainHop(tile *cache.Tile, src, dst topology.DeviceID, done func()) {
+	tile.AddInflightWaiter(src, func(err error) {
+		if err != nil {
+			// The upstream hop itself was cancelled: cascade.
+			rt.Cache.CancelInflight(tile, dst, err)
+			rt.fail(err)
+			return
+		}
+		if !tile.ValidOn(src) {
+			nsrc, chained := rt.selectSource(tile, dst)
+			if nsrc == dst {
+				// Unreachable: dst's own record is synthetic (no data is
+				// coming) and selectSource only offers dst once every
+				// valid/dirty/host copy is gone, which eviction of clean
+				// replicas cannot cause. Guard against self-deadlock anyway.
+				panic(fmt.Sprintf("xkrt: chained hop of %v re-selected its own destination %d", tile.Key, dst))
+			}
+			if chained {
+				rt.armChainHop(tile, nsrc, dst, done)
+				return
+			}
+			src = nsrc
+		}
+		if src == topology.Host {
+			rt.stats.HostFallbacks++
+		} else {
+			rt.stats.PeerSources++
+		}
 		rt.decisions.CountTransfer(rt.Plat.Topo, src, dst)
 		if err := rt.Cache.StartTransfer(tile, src, dst, done); err != nil {
+			if errors.Is(err, cache.ErrDeviceOOM) {
+				ferr := fmt.Errorf("xkrt: chained hop of %v to GPU %d: %w", tile.Key, dst, err)
+				rt.Cache.CancelInflight(tile, dst, ferr)
+				rt.fail(ferr)
+				return
+			}
 			panic(fmt.Sprintf("xkrt: chained hop: %v", err))
 		}
 	})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"xkblas/internal/cache"
+	"xkblas/internal/check"
 	"xkblas/internal/device"
 	"xkblas/internal/policy"
 	"xkblas/internal/sim"
@@ -178,6 +179,12 @@ type Runtime struct {
 	pol       policy.Bundle
 	decisions policy.Decisions
 
+	// audit is the attached coherence auditor (nil unless -check); runErr
+	// records the first unrecoverable run failure (device OOM): the pump
+	// stops issuing work and Barrier returns early instead of spinning.
+	audit  *check.Auditor
+	runErr error
+
 	stats RuntimeStats
 }
 
@@ -228,6 +235,26 @@ func defaultGrid(n int) (p, q int) {
 		}
 	}
 	return p, q
+}
+
+// AttachAuditor wires a coherence auditor into the runtime and its cache;
+// every subsequent state transition is verified. Attach before submitting
+// work.
+func (rt *Runtime) AttachAuditor(a *check.Auditor) {
+	rt.audit = a
+	rt.Cache.Audit = a
+}
+
+// Err returns the first run failure (nil while healthy). After a non-nil
+// Err, Barrier no longer guarantees the task graph drained.
+func (rt *Runtime) Err() error { return rt.runErr }
+
+// fail records the first run failure. Subsequent failures (cascades from
+// cancelled chains) are dropped: the first cause is the report.
+func (rt *Runtime) fail(err error) {
+	if rt.runErr == nil {
+		rt.runErr = err
+	}
 }
 
 // Stats returns a copy of the runtime counters.
@@ -395,11 +422,20 @@ func (rt *Runtime) link(t *Task) {
 }
 
 // Barrier drives the simulation until every submitted task has completed
-// and returns the virtual time.
+// and returns the virtual time. On a failed run (Err() != nil) it returns
+// as soon as the in-flight events drain — tasks stranded by the failure
+// are expected, not a deadlock — and the caller must check Err.
 func (rt *Runtime) Barrier() sim.Time {
 	rt.Eng.RunWhile(func() bool { return rt.pending > 0 })
 	if rt.pending > 0 {
+		if rt.runErr != nil {
+			return rt.Eng.Now()
+		}
 		panic(fmt.Sprintf("xkrt: deadlock, %d tasks pending with no events", rt.pending))
+	}
+	if rt.runErr == nil && rt.audit != nil {
+		// Quiescent-state invariants only hold after a clean drain.
+		rt.Cache.AuditDrain()
 	}
 	return rt.Eng.Now()
 }

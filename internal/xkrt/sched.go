@@ -1,9 +1,12 @@
 package xkrt
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
+	"xkblas/internal/cache"
+	"xkblas/internal/check"
 	"xkblas/internal/matrix"
 	"xkblas/internal/sim"
 	"xkblas/internal/topology"
@@ -57,9 +60,11 @@ func (rt *Runtime) pumpAll() {
 	}
 }
 
-// pump starts tasks on dev while its window has room.
+// pump starts tasks on dev while its window has room. A failed run stops
+// issuing new work: the in-flight events drain and Barrier returns the
+// error.
 func (rt *Runtime) pump(dev topology.DeviceID) {
-	for rt.window[dev] < rt.Opt.Window {
+	for rt.runErr == nil && rt.window[dev] < rt.Opt.Window {
 		t := rt.popTask(dev)
 		if t == nil {
 			return
@@ -109,6 +114,10 @@ func (rt *Runtime) startTask(dev topology.DeviceID, t *Task) {
 			// Write-only output: allocate a raw replica; contents are
 			// produced by the kernel.
 			if err := rt.Cache.AllocRaw(a.Tile, dev); err != nil {
+				if errors.Is(err, cache.ErrDeviceOOM) {
+					rt.fail(fmt.Errorf("xkrt: output allocation for task %q: %w", t.name, err))
+					return
+				}
 				panic(fmt.Sprintf("xkrt: %v", err))
 			}
 			rt.Cache.Pin(a.Tile, dev)
@@ -124,6 +133,17 @@ func (rt *Runtime) startTask(dev topology.DeviceID, t *Task) {
 func (rt *Runtime) launchKernel(t *Task) {
 	dev := t.dev
 	t.state = stateRunning
+	if rt.audit != nil {
+		accs := make([]check.Access, len(t.acc))
+		for i, a := range t.acc {
+			accs[i] = check.Access{
+				Tile:   a.Tile.CheckID(),
+				Reads:  a.Mode.reads(),
+				Writes: a.Mode.writes(),
+			}
+		}
+		rt.audit.OnKernelLaunch(t.id, dev, accs)
+	}
 	g := rt.Plat.GPU(dev)
 	eff := rt.Plat.Model.EffectiveFlops(t.kern.Routine, t.kern.Flops, t.kern.M, t.kern.N, t.kern.K)
 	g.Kernel.Submit(eff, rt.Plat.Model.LaunchOverhead, func(start, end sim.Time) {
@@ -153,6 +173,9 @@ func (rt *Runtime) completeKernel(t *Task, start, end sim.Time) {
 	}
 	if rt.Obs != nil {
 		rt.Obs.OnKernel(dev, t.kern.Routine.String(), start, end)
+	}
+	if rt.audit != nil {
+		rt.audit.OnKernelRetire(t.id, dev)
 	}
 	rt.window[dev]--
 	rt.taskDone(t)
