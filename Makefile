@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race stress check bench verify experiments experiments-quick examples fmt fmtcheck vet clean
+.PHONY: all build test race race-cancel stress check bench verify experiments experiments-quick examples fmt fmtcheck vet clean
 
 all: check
 
@@ -19,6 +19,12 @@ test:
 race:
 	$(GO) test -race ./internal/bench/... ./internal/sim/... ./internal/hostblas/... ./internal/xkrt/...
 
+# Cancellation/deadline propagation under the race detector: the engine's
+# cross-goroutine stop flag, the runtime's watchdog Cancel protocol, the
+# partial-prefix sweep contract and the goroutine-leak check.
+race-cancel:
+	$(GO) test -race -count=1 -run 'Cancel|Stop' ./internal/sim/ ./internal/xkrt/ ./internal/bench/ ./cmd/xkbench/
+
 # Coherence stress gate (fixed seeds, deterministic): the randomized DAG
 # audit sweep over every policy bundle/topology/mode, the cache coherence
 # fuzzer, the auditor's mutation self-tests, and the mode-parity check.
@@ -28,7 +34,7 @@ stress:
 	$(GO) test -count=1 ./internal/check/
 
 # Default verification gate: build, vet, formatting, tests, stress, race pass.
-check: build vet fmtcheck test stress race
+check: build vet fmtcheck test stress race race-cancel
 
 # One testing.B benchmark per paper table/figure plus the ablations.
 bench:

@@ -17,14 +17,22 @@
 //	# (default: all of them); any level returns bit-identical results.
 //	xkbench -exp fig5 -parallel 1
 //
+//	# Bound the run: after 2 minutes (or on Ctrl-C) stop scheduling new
+//	# simulations, abort in-flight ones, flush the completed points to
+//	# every requested sink, and exit nonzero.
+//	xkbench -exp fig5 -timeout 2m -csv partial.csv
+//
 // Paper experiments: table1, fig2, fig3, table2, fig4, fig5, fig6, fig7,
 // fig8, fig9. Extensions: scale, summit, hermitian, pinning, factor.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
@@ -52,10 +60,25 @@ func main() {
 		"worker goroutines for independent simulated runs (1 = sequential; results are bit-identical at any level)")
 	checkFlag := flag.Bool("check", false,
 		"run every simulation under the coherence-invariant auditor (internal/check); violations surface as per-point errors and a non-zero exit")
+	timeout := flag.Duration("timeout", 0,
+		"wall-clock bound for the whole run (0 = none); on expiry — or on Ctrl-C — no new simulations start, in-flight ones are aborted, completed points are flushed to every sink and the exit status is nonzero")
 	flag.Parse()
 
 	bench.DefaultParallelism = *parallel
 	bench.CheckRuns = *checkFlag
+
+	// Deadline and SIGINT share one context; bench.SweepContext hands it to
+	// every experiment driver. Without -timeout and without a signal the
+	// context never fires and the run is bit-identical to an unbounded one.
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if *timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+	}
+	defer cancel()
+	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt)
+	defer stopSignals()
+	bench.SweepContext = ctx
 
 	w := os.Stdout
 	var points []bench.Point
@@ -133,14 +156,8 @@ func main() {
 		}
 	}
 
-	if *csvPath != "" && len(points) > 0 {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := bench.WriteCSV(f, points); err != nil {
+	if *csvPath != "" {
+		if err := writeCSVFile(*csvPath, points); err != nil {
 			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
 			os.Exit(1)
 		}
@@ -154,6 +171,35 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	if err := ctx.Err(); err != nil {
+		// All sinks above have been flushed with the completed prefix.
+		fmt.Fprintf(os.Stderr, "xkbench: run aborted: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// writeCSVTo writes the points as CSV to wc and closes it, reporting the
+// first error of either step: a short write and a failed Close (where a
+// full disk often first surfaces) must both fail the command. An empty
+// point set still produces the CSV header, so downstream tooling can tell
+// "sweep ran and measured nothing" from "sweep never wrote its output".
+func writeCSVTo(wc io.WriteCloser, points []bench.Point) error {
+	werr := bench.WriteCSV(wc, points)
+	cerr := wc.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// writeCSVFile creates path and writes the points through writeCSVTo.
+func writeCSVFile(path string, points []bench.Point) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return writeCSVTo(f, points)
 }
 
 // customSweep runs a user-specified sweep over the library roster.
@@ -164,6 +210,7 @@ func customSweep(w *os.File, libsSpec, routinesSpec, sizesSpec, tilesSpec string
 		Progress:      w,
 		ExtraTilesFor: map[string]bool{"cuBLAS-XT": true, "Slate": true},
 		Parallel:      bench.DefaultParallelism,
+		Ctx:           bench.SweepContext,
 	}
 	if dod {
 		cfg.Scenario = baseline.DataOnDevice

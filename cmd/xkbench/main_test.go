@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xkblas/internal/bench"
+	"xkblas/internal/blasops"
+)
+
+// closeFailSink writes fine but fails on Close — the shape of a full disk
+// whose buffered data is lost at flush time.
+type closeFailSink struct {
+	bytes.Buffer
+	closeErr error
+	closed   bool
+}
+
+func (s *closeFailSink) Close() error {
+	s.closed = true
+	return s.closeErr
+}
+
+// writeFailSink fails every write and also fails Close, to pin the error
+// precedence (the first failure wins).
+type writeFailSink struct {
+	writeErr error
+	closeErr error
+}
+
+func (s *writeFailSink) Write(p []byte) (int, error) { return 0, s.writeErr }
+func (s *writeFailSink) Close() error                { return s.closeErr }
+
+func samplePoints() []bench.Point {
+	return []bench.Point{
+		{Lib: "XKBlas", Routine: blasops.Gemm, N: 8192, NB: 2048, GFlops: 100, Runs: 2},
+	}
+}
+
+func TestWriteCSVToReportsCloseError(t *testing.T) {
+	bang := errors.New("close failed: no space left on device")
+	sink := &closeFailSink{closeErr: bang}
+	if err := writeCSVTo(sink, samplePoints()); !errors.Is(err, bang) {
+		t.Fatalf("writeCSVTo error = %v, want the Close error", err)
+	}
+	if !sink.closed {
+		t.Fatal("sink was not closed")
+	}
+}
+
+func TestWriteCSVToWriteErrorWins(t *testing.T) {
+	werr := errors.New("write failed")
+	cerr := errors.New("close failed")
+	if err := writeCSVTo(&writeFailSink{writeErr: werr, closeErr: cerr}, samplePoints()); !errors.Is(err, werr) {
+		t.Fatalf("writeCSVTo error = %v, want the write error", err)
+	}
+}
+
+func TestWriteCSVToZeroPointsEmitsHeader(t *testing.T) {
+	sink := &closeFailSink{}
+	if err := writeCSVTo(sink, nil); err != nil {
+		t.Fatalf("zero-point CSV failed: %v", err)
+	}
+	got := sink.String()
+	if !strings.HasPrefix(got, "routine,library,n,nb,gflops,ci95,runs,error") {
+		t.Fatalf("zero-point CSV missing header: %q", got)
+	}
+	if n := strings.Count(got, "\n"); n != 1 {
+		t.Fatalf("zero-point CSV has %d lines, want 1 (header only)", n)
+	}
+}
+
+func TestWriteCSVFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := writeCSVFile(path, samplePoints()); err != nil {
+		t.Fatalf("writeCSVFile: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV lines = %d, want header + 1 point", len(lines))
+	}
+	if !strings.Contains(lines[1], "XKBlas") {
+		t.Fatalf("point row missing: %q", lines[1])
+	}
+
+	if err := writeCSVFile(filepath.Join(t.TempDir(), "missing", "out.csv"), nil); err == nil {
+		t.Fatal("expected create error for missing directory")
+	}
+}

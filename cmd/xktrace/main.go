@@ -111,9 +111,13 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		if err := res.Rec.WriteChromeTrace(f, 8); err != nil {
+		dropped, err := res.Rec.WriteChromeTrace(f, 8)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "chrome: %v\n", err)
 			os.Exit(1)
+		}
+		if dropped > 0 {
+			fmt.Fprintf(os.Stderr, "chrome: %d events outside the exported device range were dropped\n", dropped)
 		}
 		fmt.Printf("\nwrote Chrome trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", *chrome)
 	}

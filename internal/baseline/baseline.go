@@ -14,6 +14,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"xkblas/internal/blasops"
@@ -71,6 +72,22 @@ type Request struct {
 	// Check attaches the strict coherence-invariant auditor to the run
 	// (xkbench -check): any protocol violation surfaces as Result.Err.
 	Check bool
+
+	// Ctx, when non-nil, bounds the run: once it is cancelled (deadline or
+	// signal) the simulation aborts at the current virtual time and
+	// Result.Err carries xkrt.ErrCanceled wrapping the context error. A nil
+	// Ctx (and a never-cancelled one) leaves the run bit-identical to a
+	// context-free run.
+	Ctx context.Context
+}
+
+// canceled reports the request's context error (nil for a nil or live
+// context).
+func (req Request) canceled() error {
+	if req.Ctx == nil {
+		return nil
+	}
+	return req.Ctx.Err()
 }
 
 // Result is one measurement outcome.
@@ -109,6 +126,32 @@ func newHandle(req Request, opts xkrt.Options) *core.Handle {
 		h.Plat.Model.EnableNoise(req.NoiseAmp, req.NoiseSeed)
 	}
 	return h
+}
+
+// armCancel connects the request's context to the handle's runtime: a
+// watchdog goroutine cancels the run (aborting the engine at the current
+// virtual time) the moment the context is done. The returned release func
+// must be deferred by the caller — it reaps the watchdog when the run
+// completes first. With no cancellable context this is a no-op: no
+// goroutine is spawned and the simulation is untouched.
+func armCancel(req Request, h *core.Handle) (release func()) {
+	ctx := req.Ctx
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	if err := ctx.Err(); err != nil {
+		h.RT.Cancel(err)
+		return func() {}
+	}
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			h.RT.Cancel(ctx.Err())
+		case <-stop:
+		}
+	}()
+	return func() { close(stop) }
 }
 
 // attachTrace wires a recorder into the handle when requested.
@@ -181,6 +224,7 @@ func runStandard(h *core.Handle, req Request, rec *trace.Recorder) (res Result) 
 			res = Result{Err: fmt.Errorf("baseline: %v", r), Rec: rec}
 		}
 	}()
+	defer armCancel(req, h)()
 	ins, out := operands(h, req.Routine, req.N)
 	if req.Scenario == DataOnDevice {
 		p, q := 4, 2
@@ -270,6 +314,9 @@ func (l *StdLib) Run(req Request) Result {
 	if !l.Supports(req.Routine) {
 		return Result{Err: fmt.Errorf("%s does not implement %v", l.LibName, req.Routine)}
 	}
+	if err := req.canceled(); err != nil {
+		return Result{Err: &xkrt.CanceledError{Cause: err}}
+	}
 	h, rec := l.prepare(req)
 	res := runStandard(h, req, rec)
 	if l.ConvertGBs > 0 {
@@ -299,12 +346,16 @@ func (l *StdLib) addConversionCost(req Request, res Result) Result {
 // RunComposition implements Composer: TRSM(L,B in place) then GEMM
 // (D += B·C), with this library's inter-call semantics.
 func (l *StdLib) RunComposition(req Request) (res Result) {
+	if err := req.canceled(); err != nil {
+		return Result{Err: &xkrt.CanceledError{Cause: err}}
+	}
 	h, rec := l.prepare(req)
 	defer func() {
 		if r := recover(); r != nil {
 			res = Result{Err: fmt.Errorf("baseline: %v", r), Rec: rec}
 		}
 	}()
+	defer armCancel(req, h)()
 	n := req.N
 	A := h.Register(matrix.NewShape(n, n))
 	B := h.Register(matrix.NewShape(n, n))

@@ -29,6 +29,9 @@ func (l cublasMGLib) Run(req Request) (res Result) {
 	if req.Routine != blasops.Gemm {
 		return Result{Err: fmt.Errorf("cuBLAS-MG only implements GEMM")}
 	}
+	if err := req.canceled(); err != nil {
+		return Result{Err: &xkrt.CanceledError{Cause: err}}
+	}
 	// Peer transfers between the block-cyclic homes use NVLink when
 	// available but without topology ranking or forwarding heuristics.
 	h := newHandle(req, xkrt.Options{
@@ -45,6 +48,7 @@ func (l cublasMGLib) Run(req Request) (res Result) {
 			res = Result{Err: fmt.Errorf("cublas-mg: %v", r), Rec: rec}
 		}
 	}()
+	defer armCancel(req, h)()
 	n := req.N
 	A := h.Register(matrix.NewShape(n, n))
 	B := h.Register(matrix.NewShape(n, n))

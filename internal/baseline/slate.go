@@ -53,6 +53,9 @@ func (l *slateLib) Run(req Request) (res Result) {
 	if req.Routine != blasops.Gemm {
 		return l.std.Run(req)
 	}
+	if err := req.canceled(); err != nil {
+		return Result{Err: &xkrt.CanceledError{Cause: err}}
+	}
 	h := newHandle(req, slateOpts())
 	rec := attachTrace(h, req)
 	defer func() {
@@ -60,6 +63,7 @@ func (l *slateLib) Run(req Request) (res Result) {
 			res = Result{Err: fmt.Errorf("slate: %v", r), Rec: rec}
 		}
 	}()
+	defer armCancel(req, h)()
 	n := req.N
 	A := h.Register(matrix.NewShape(n, n))
 	B := h.Register(matrix.NewShape(n, n))
@@ -99,6 +103,11 @@ func (l *slateLib) Run(req Request) (res Result) {
 			}
 		}
 		h.Sync() // panel barrier
+		if h.RT.Err() != nil {
+			// Cancelled (or failed) mid-panel: stop building further panels;
+			// the final Sync below reports the error.
+			break
+		}
 		if req.Scenario == DataOnHost {
 			for _, g := range h.Plat.Topo.GPUs() {
 				for i := 0; i < nt; i++ {

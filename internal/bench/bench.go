@@ -7,6 +7,8 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -16,6 +18,7 @@ import (
 	"xkblas/internal/blasops"
 	"xkblas/internal/policy"
 	"xkblas/internal/sim"
+	"xkblas/internal/xkrt"
 )
 
 // Point is one measured series point.
@@ -68,12 +71,24 @@ type Config struct {
 	// sweep is bit-identical to an unaudited one; a violation surfaces as
 	// the point's Err.
 	Check bool
+	// Ctx, when non-nil, bounds the sweep: once it is cancelled (deadline
+	// or signal) no new leaf simulations start, in-flight ones are aborted
+	// through the runtime's cancellation path, and RunSweep returns the
+	// completed prefix of points — every unfinished point carries the
+	// context's error. A nil (or never-cancelled) Ctx leaves the sweep
+	// bit-identical to one without a context.
+	Ctx context.Context
 }
 
 // CheckRuns mirrors Config.Check for the experiment drivers that build
 // their own Config/Request values internally (xkbench -exp); the -check
 // flag sets it process-wide.
 var CheckRuns bool
+
+// SweepContext mirrors Config.Ctx for the experiment drivers that build
+// their own Config/Request values internally (xkbench -exp); the -timeout
+// flag and the SIGINT handler set it process-wide. nil means no bound.
+var SweepContext context.Context
 
 // DefaultTiles is the paper's tile-size candidate set.
 func DefaultTiles() []int { return []int{1024, 2048, 4096} }
@@ -163,6 +178,12 @@ func feasibleTiles(cfg Config, lib baseline.Library, n int) []int {
 // warm-up). Each call builds a private platform and sim.Engine, so
 // repetitions are independent and safe to execute concurrently.
 func runRep(cfg Config, lib baseline.Library, r blasops.Routine, n, nb, rep int) baseline.Result {
+	if cfg.Ctx != nil {
+		// Cancelled sweep: skip the leaf without building a simulation.
+		if err := cfg.Ctx.Err(); err != nil {
+			return baseline.Result{Err: err}
+		}
+	}
 	return lib.Run(baseline.Request{
 		Routine:   r,
 		N:         n,
@@ -171,6 +192,7 @@ func runRep(cfg Config, lib baseline.Library, r blasops.Routine, n, nb, rep int)
 		NoiseAmp:  cfg.NoiseAmp,
 		NoiseSeed: int64(rep)*7919 + int64(n) + int64(nb),
 		Check:     cfg.Check || CheckRuns,
+		Ctx:       cfg.Ctx,
 	})
 }
 
@@ -248,9 +270,52 @@ func reducePoint(lib baseline.Library, r blasops.Routine, n int, tiles []tileRun
 	return best
 }
 
+// leafCanceled reports whether a leaf result failed because the sweep was
+// cancelled (context expiry or the runtime's cancellation error) rather
+// than because of a genuine measurement failure.
+func leafCanceled(err error) bool {
+	return err != nil && (errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, xkrt.ErrCanceled))
+}
+
+// pointCanceled reports whether any populated leaf of a point was cut
+// short by cancellation. Such a point must not be reduced: its samples are
+// an arbitrary subset of the configured repetitions.
+func pointCanceled(trs []tileRuns) bool {
+	for _, tr := range trs {
+		for rep := 0; rep < tr.upTo; rep++ {
+			if leafCanceled(tr.res[rep].Err) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sweepErr is the error recorded on every point a cancelled sweep did not
+// complete: the context's own error when available (context.Canceled or
+// context.DeadlineExceeded), else context.Canceled.
+func sweepErr(cfg Config) error {
+	if cfg.Ctx != nil {
+		if err := cfg.Ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return context.Canceled
+}
+
+// canceledPoint is the placeholder emitted for every point a cancelled
+// sweep did not finish.
+func canceledPoint(cfg Config, lib baseline.Library, r blasops.Routine, n int) Point {
+	return Point{Lib: lib.Name(), Routine: r, N: n, Err: sweepErr(cfg)}
+}
+
 // MeasurePoint measures one (lib, routine, N) with best-tile selection.
 // With cfg.Parallel > 1 the per-tile/per-repetition simulations run on a
 // bounded worker pool; the result is bit-identical to the sequential path.
+// If cfg.Ctx is cancelled mid-measurement the point comes back with the
+// context's error instead of a partial reduction.
 func MeasurePoint(cfg Config, lib baseline.Library, r blasops.Routine, n int) Point {
 	tiles := feasibleTiles(cfg, lib, n)
 	var trs []tileRuns
@@ -258,6 +323,9 @@ func MeasurePoint(cfg Config, lib baseline.Library, r blasops.Routine, n int) Po
 		trs = measureTilesParallel(cfg, lib, r, n, tiles)
 	} else {
 		trs = measureTilesSequential(cfg, lib, r, n, tiles)
+	}
+	if pointCanceled(trs) {
+		return canceledPoint(cfg, lib, r, n)
 	}
 	return reducePoint(lib, r, n, trs)
 }
@@ -303,14 +371,30 @@ func progressLine(w io.Writer, p Point) {
 // the independent simulations fan out across a bounded worker pool; points
 // and Progress lines are assembled in the same deterministic order as the
 // sequential loop and are bit-identical to it.
+//
+// When cfg.Ctx is cancelled mid-sweep the returned slice still has one
+// entry per planned point, in the same deterministic order: a completed
+// prefix bit-identical to what an uncancelled sweep would have produced,
+// followed by points whose Err is the context's error. The cut is
+// monotonic — once one point is cancelled, every later point is too.
 func RunSweep(cfg Config) []Point {
 	if cfg.Parallel > 1 {
 		return runSweepParallel(cfg)
 	}
 	plans := sweepPlans(cfg)
 	out := make([]Point, 0, len(plans))
+	cut := false
 	for _, pl := range plans {
-		p := MeasurePoint(cfg, pl.lib, pl.r, pl.n)
+		var p Point
+		if cut {
+			p = canceledPoint(cfg, pl.lib, pl.r, pl.n)
+		} else {
+			p = MeasurePoint(cfg, pl.lib, pl.r, pl.n)
+			if leafCanceled(p.Err) {
+				cut = true
+				p = canceledPoint(cfg, pl.lib, pl.r, pl.n)
+			}
+		}
 		out = append(out, p)
 		progressLine(cfg.Progress, p)
 	}

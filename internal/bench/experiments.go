@@ -41,6 +41,7 @@ func sweepDefaults(quick bool) Config {
 		NoiseAmp:       0.02,
 		MaxTilesPerDim: 40,
 		Parallel:       DefaultParallelism,
+		Ctx:            SweepContext,
 	}
 	if quick {
 		cfg.Sizes = QuickSizes()
@@ -234,7 +235,7 @@ func Fig6(w io.Writer, quick bool) {
 	}
 	fmt.Fprintln(w, "  | normalized ratios")
 	for _, lib := range fig6Libs() {
-		res := lib.Run(baseline.Request{Routine: blasops.Gemm, N: n, NB: 4096, Trace: true, Check: CheckRuns})
+		res := lib.Run(baseline.Request{Routine: blasops.Gemm, N: n, NB: 4096, Trace: true, Check: CheckRuns, Ctx: SweepContext})
 		if res.Err != nil {
 			fmt.Fprintf(w, "%-16s ERROR: %v\n", lib.Name(), res.Err)
 			continue
@@ -264,7 +265,7 @@ func Fig7(w io.Writer, quick bool) {
 	fmt.Fprintf(w, "Fig. 7 — SYR2K FP64 per-GPU trace at N=%d (seconds per operation kind)\n", n)
 	libs := []baseline.Library{baseline.ChameleonTile(), baseline.CuBLASXT(), baseline.XKBlas()}
 	for _, lib := range libs {
-		res := lib.Run(baseline.Request{Routine: blasops.Syr2k, N: n, NB: 2048, Trace: true, Check: CheckRuns})
+		res := lib.Run(baseline.Request{Routine: blasops.Syr2k, N: n, NB: 2048, Trace: true, Check: CheckRuns, Ctx: SweepContext})
 		if res.Err != nil {
 			fmt.Fprintf(w, "%s: ERROR %v\n", lib.Name(), res.Err)
 			continue
@@ -298,7 +299,7 @@ func Fig8(w io.Writer, quick bool) {
 	for _, lib := range libs {
 		comp := lib.(baseline.Composer)
 		for _, n := range sizes {
-			res := comp.RunComposition(baseline.Request{Routine: blasops.Gemm, N: n, NB: 2048, Check: CheckRuns})
+			res := comp.RunComposition(baseline.Request{Routine: blasops.Gemm, N: n, NB: 2048, Check: CheckRuns, Ctx: SweepContext})
 			if res.Err != nil {
 				fmt.Fprintf(w, "%-16s N=%-6d ERROR: %v\n", lib.Name(), n, res.Err)
 				continue
@@ -321,7 +322,7 @@ func Fig9(w io.Writer, quick bool) {
 	libs := []baseline.Library{baseline.ChameleonTile(), baseline.XKBlas()}
 	for _, lib := range libs {
 		res := lib.(baseline.Composer).RunComposition(baseline.Request{
-			Routine: blasops.Gemm, N: n, NB: 2048, Trace: true, Check: CheckRuns})
+			Routine: blasops.Gemm, N: n, NB: 2048, Trace: true, Check: CheckRuns, Ctx: SweepContext})
 		if res.Err != nil {
 			fmt.Fprintf(w, "%s: ERROR %v\n", lib.Name(), res.Err)
 			continue

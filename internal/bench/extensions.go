@@ -52,7 +52,7 @@ func measureOn(cfg Config, lib baseline.Library, r blasops.Routine, n int, plat 
 		grid[ti][rep-1] = lib.Run(baseline.Request{
 			Routine: r, N: n, NB: cfg.Tiles[ti], Platform: plat,
 			NoiseAmp: cfg.NoiseAmp, NoiseSeed: int64(rep) * 131,
-			Check: CheckRuns,
+			Check: CheckRuns, Ctx: SweepContext,
 		})
 	}
 	if cfg.Parallel > 1 {

@@ -120,13 +120,25 @@ func runSweepParallel(cfg Config) []Point {
 	}
 
 	// Ordered commit: reduce and report each point once it and all its
-	// predecessors are complete.
+	// predecessors are complete. On cancellation the cut is monotonic: once
+	// one point has a cancelled leaf, every later point is reported as
+	// cancelled too, even if its leaves happened to finish out of order —
+	// that keeps the parallel partial prefix identical to the sequential
+	// one.
 	out := make([]Point, 0, nPoints)
 	ready := make([]bool, nPoints)
+	cut := false
 	for emitted := 0; emitted < nPoints; {
 		ready[<-done] = true
 		for emitted < nPoints && ready[emitted] {
-			p := reducePoint(plans[emitted].lib, plans[emitted].r, plans[emitted].n, grids[emitted])
+			pl := plans[emitted]
+			var p Point
+			if cut || pointCanceled(grids[emitted]) {
+				cut = true
+				p = canceledPoint(cfg, pl.lib, pl.r, pl.n)
+			} else {
+				p = reducePoint(pl.lib, pl.r, pl.n, grids[emitted])
+			}
 			out = append(out, p)
 			progressLine(cfg.Progress, p)
 			emitted++

@@ -261,6 +261,16 @@ func (t *Tile) InflightTo(dev topology.DeviceID) bool {
 	return ok
 }
 
+// InflightStarted reports whether the under-transfer record to dev exists
+// and its physical transfer is already on the wire. A registered record
+// that has not started is a synthetic chain mark, the only kind
+// CancelInflight may remove; the cancellation sweep uses this to tell the
+// two apart.
+func (t *Tile) InflightStarted(dev topology.DeviceID) bool {
+	inf, ok := t.inflight[dev]
+	return ok && inf.started
+}
+
 // SizeBytes implements policy.TileView.
 func (t *Tile) SizeBytes() int64 { return t.Bytes }
 
@@ -717,4 +727,19 @@ func (c *Cache) AuditDrain() {
 		c.Audit.PoolAtDrain(topology.DeviceID(i), g.Mem.Used())
 	}
 	c.Audit.OnDrain()
+}
+
+// AuditCancelledDrain, with an auditor attached, closes out a run that was
+// cancelled mid-flight. The full quiescent checks do not apply — pins,
+// under-transfer records and launched kernels legitimately remain at the
+// abort point — but memory accounting is synchronous and must still match,
+// so the per-device pools are verified before the drain is counted.
+func (c *Cache) AuditCancelledDrain() {
+	if c.Audit == nil {
+		return
+	}
+	for i, g := range c.Plat.GPUs {
+		c.Audit.PoolAtDrain(topology.DeviceID(i), g.Mem.Used())
+	}
+	c.Audit.OnCancelledDrain()
 }

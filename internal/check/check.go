@@ -473,3 +473,14 @@ func (a *Auditor) OnDrain() {
 	}
 	globalDrains.Add(1)
 }
+
+// OnCancelledDrain reports a run that ended by cancellation rather than a
+// clean barrier. The quiescent-state invariants of OnDrain do not hold — a
+// cancelled run legitimately strands pins, under-transfer records and
+// launched kernels at the abort point — so only the memory accounting
+// (which every allocation keeps synchronous) has been verified, via the
+// caller's PoolAtDrain calls. The run still counts as audited.
+func (a *Auditor) OnCancelledDrain() {
+	a.events++
+	globalDrains.Add(1)
+}

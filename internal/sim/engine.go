@@ -17,6 +17,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Time is a point in virtual time, in seconds since the start of the
@@ -56,6 +57,12 @@ type Engine struct {
 	free    []*event // recycled events, reused by At/After
 	fired   uint64
 	running bool
+
+	// stop is the abort flag. It is the engine's single cross-goroutine
+	// entry point: a watchdog may set it while Run executes on another
+	// goroutine, so it is atomic where every other field is confined to the
+	// simulation goroutine.
+	stop atomic.Bool
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -71,6 +78,17 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports how many events are waiting to fire.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// Stop requests an abort: the run loop finishes the handler in progress and
+// returns with the clock at the current virtual time, leaving the pending
+// events queued. Safe to call from any goroutine (a deadline watchdog) or
+// from an event handler; every other Engine method remains confined to the
+// simulation goroutine. Run/RunUntil/RunWhile on a stopped engine return
+// immediately; Reset re-arms the engine.
+func (e *Engine) Stop() { e.stop.Store(true) }
+
+// Stopped reports whether Stop has been called since the last Reset.
+func (e *Engine) Stopped() bool { return e.stop.Load() }
 
 // Reset returns the engine to its initial state — clock at zero, no pending
 // events, counters cleared — while keeping the event free list and heap
@@ -90,6 +108,7 @@ func (e *Engine) Reset() {
 	e.now = 0
 	e.seq = 0
 	e.fired = 0
+	e.stop.Store(false)
 }
 
 // acquire takes an event from the free list, or allocates one.
@@ -189,15 +208,16 @@ func (e *Engine) Run() Time {
 	return e.RunUntil(Infinity)
 }
 
-// RunUntil fires events in order until the queue is empty or the next event
-// is later than deadline. The clock never exceeds deadline.
+// RunUntil fires events in order until the queue is empty, the next event
+// is later than deadline, or Stop is called. The clock never exceeds
+// deadline; on a stop it stays at the last fired event's time.
 func (e *Engine) RunUntil(deadline Time) Time {
 	if e.running {
 		panic("sim: Run called re-entrantly from an event handler")
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.events) > 0 {
+	for len(e.events) > 0 && !e.stop.Load() {
 		next := e.events[0]
 		if next.at > deadline {
 			e.now = deadline
@@ -212,16 +232,17 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	return e.now
 }
 
-// RunWhile fires events while cond() remains true and events remain. It is
-// the engine-level building block for "run until this operation completes"
-// style synchronisation used by the runtimes built on top of the simulator.
+// RunWhile fires events while cond() remains true, events remain and Stop
+// has not been called. It is the engine-level building block for "run until
+// this operation completes" style synchronisation used by the runtimes
+// built on top of the simulator.
 func (e *Engine) RunWhile(cond func() bool) Time {
 	if e.running {
 		panic("sim: Run called re-entrantly from an event handler")
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for cond() && len(e.events) > 0 {
+	for cond() && len(e.events) > 0 && !e.stop.Load() {
 		next := e.pop()
 		e.now = next.at
 		e.fired++

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestEngineStopDrainsAtCurrentTime(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at
+		e.At(at, func() {
+			fired = append(fired, at)
+			if at == 3 {
+				e.Stop()
+			}
+		})
+	}
+	end := e.Run()
+	if end != 3 {
+		t.Fatalf("stopped clock = %v, want 3 (the instant Stop was called)", end)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3 (no event after Stop)", len(fired))
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2 (later events stay queued)", e.Pending())
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+}
+
+func TestEngineStopHaltsRunWhile(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count == 10 {
+			e.Stop()
+		}
+		e.After(1, tick)
+	}
+	e.After(1, tick)
+	e.RunWhile(func() bool { return true })
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+}
+
+func TestEngineResetClearsStop(t *testing.T) {
+	e := NewEngine()
+	e.At(1, func() { e.Stop() })
+	e.At(2, func() {})
+	e.Run()
+	if !e.Stopped() {
+		t.Fatal("Stopped() = false after stopped run")
+	}
+	e.Reset()
+	if e.Stopped() {
+		t.Fatal("Reset did not clear the stop flag")
+	}
+	fired := 0
+	e.At(1, func() { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("post-Reset run fired %d events, want 1", fired)
+	}
+}
+
+// TestEngineStopFromOtherGoroutine exercises the one cross-goroutine entry
+// point: a watchdog calling Stop while Run executes on another goroutine
+// must terminate an otherwise endless event chain (run under -race).
+func TestEngineStopFromOtherGoroutine(t *testing.T) {
+	e := NewEngine()
+	started := make(chan struct{})
+	var once sync.Once
+	var tick func()
+	tick = func() {
+		once.Do(func() { close(started) })
+		e.After(1, tick)
+	}
+	e.After(1, tick)
+	doneC := make(chan Time, 1)
+	go func() { doneC <- e.Run() }()
+	<-started
+	e.Stop()
+	end := <-doneC
+	if end <= 0 {
+		t.Fatalf("stopped clock = %v, want > 0", end)
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() = false after cross-goroutine Stop")
+	}
+}

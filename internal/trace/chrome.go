@@ -8,8 +8,9 @@ import (
 
 // Chrome trace-event export: the recorded timeline serializes to the JSON
 // array format consumed by chrome://tracing and Perfetto, with one process
-// per GPU and one thread lane per operation kind — a zoomable alternative
-// to the ASCII Gantt for inspecting §IV-E style executions.
+// per GPU (plus one for the host) and one thread lane per operation kind —
+// a zoomable alternative to the ASCII Gantt for inspecting §IV-E style
+// executions.
 
 // chromeEvent is one complete ("X" phase) trace event.
 type chromeEvent struct {
@@ -33,25 +34,64 @@ type chromeMeta struct {
 	Args map[string]interface{} `json:"args"`
 }
 
+// chromeLaneOther is the overflow thread lane for OpKinds added after this
+// table: without it an unknown kind would map to lane 0 and silently render
+// inside the kernel lane.
+const chromeLaneOther = 4
+
+// chromeLane maps an operation kind to its stable thread id
+// (0 = kernels, 1 = HtoD, 2 = DtoH, 3 = PtoP, 4 = anything else).
+func chromeLane(k OpKind) int {
+	switch k {
+	case OpKernel:
+		return 0
+	case OpHtoD:
+		return 1
+	case OpDtoH:
+		return 2
+	case OpPtoP:
+		return 3
+	default:
+		return chromeLaneOther
+	}
+}
+
+// chromeLaneOrder lists the named lanes in thread-id order for the
+// metadata records.
+var chromeLaneOrder = []OpKind{OpKernel, OpHtoD, OpDtoH, OpPtoP}
+
 // WriteChromeTrace serializes the recorded events as a Chrome trace-event
-// JSON array. Each GPU becomes a process; kinds map to fixed thread lanes
-// (0 = kernels, 1 = HtoD, 2 = DtoH, 3 = PtoP).
-func (r *Recorder) WriteChromeTrace(w io.Writer, numGPUs int) error {
-	var out []interface{}
-	for g := 0; g < numGPUs; g++ {
+// JSON array. Each GPU becomes a process; host-attributed events (negative
+// device id) get a dedicated "Host" process after the GPUs instead of being
+// silently dropped. It returns the number of events dropped because their
+// device id is outside [0, numGPUs) and not the host — a nonzero count
+// means the caller exported with too small a numGPUs.
+func (r *Recorder) WriteChromeTrace(w io.Writer, numGPUs int) (dropped int, err error) {
+	hostPid := numGPUs
+	out := make([]interface{}, 0, len(r.Events)+(numGPUs+1)*(len(chromeLaneOrder)+1))
+	addProcess := func(pid int, name string) {
 		out = append(out, chromeMeta{
-			Name: "process_name", Ph: "M", Pid: g,
-			Args: map[string]interface{}{"name": fmt.Sprintf("GPU %d", g)},
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]interface{}{"name": name},
 		})
-		for kind, lane := range chromeLanes() {
+		for _, kind := range chromeLaneOrder {
 			out = append(out, chromeMeta{
-				Name: "thread_name", Ph: "M", Pid: g, Tid: lane,
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: chromeLane(kind),
 				Args: map[string]interface{}{"name": kind.String()},
 			})
 		}
 	}
+	for g := 0; g < numGPUs; g++ {
+		addProcess(g, fmt.Sprintf("GPU %d", g))
+	}
+	addProcess(hostPid, "Host")
 	for _, e := range r.Events {
-		if int(e.Dev) >= numGPUs || e.Dev < 0 {
+		pid := int(e.Dev)
+		switch {
+		case e.Dev < 0:
+			pid = hostPid
+		case pid >= numGPUs:
+			dropped++
 			continue
 		}
 		ev := chromeEvent{
@@ -60,8 +100,8 @@ func (r *Recorder) WriteChromeTrace(w io.Writer, numGPUs int) error {
 			Ph:   "X",
 			Ts:   float64(e.Start) * 1e6,
 			Dur:  float64(e.Duration()) * 1e6,
-			Pid:  int(e.Dev),
-			Tid:  chromeLanes()[e.Kind],
+			Pid:  pid,
+			Tid:  chromeLane(e.Kind),
 		}
 		if e.Bytes > 0 {
 			ev.Args = map[string]interface{}{"bytes": e.Bytes}
@@ -69,15 +109,5 @@ func (r *Recorder) WriteChromeTrace(w io.Writer, numGPUs int) error {
 		out = append(out, ev)
 	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(out)
-}
-
-// chromeLanes maps operation kinds to stable thread ids.
-func chromeLanes() map[OpKind]int {
-	return map[OpKind]int{
-		OpKernel: 0,
-		OpHtoD:   1,
-		OpDtoH:   2,
-		OpPtoP:   3,
-	}
+	return dropped, enc.Encode(out)
 }

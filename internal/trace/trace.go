@@ -197,7 +197,7 @@ func (r *Recorder) Gantt(w io.Writer, numGPUs, width int) error {
 		rows[i] = []byte(strings.Repeat(".", width))
 	}
 	for _, e := range r.Events {
-		if int(e.Dev) >= numGPUs {
+		if int(e.Dev) >= numGPUs || e.Dev < 0 {
 			continue
 		}
 		g := ganttGlyph[e.Kind]

@@ -127,8 +127,12 @@ func TestReset(t *testing.T) {
 func TestChromeTraceExport(t *testing.T) {
 	r := sampleRecorder()
 	var buf bytes.Buffer
-	if err := r.WriteChromeTrace(&buf, 2); err != nil {
+	dropped, err := r.WriteChromeTrace(&buf, 2)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("dropped = %d, want 0 (every sample event fits the range)", dropped)
 	}
 	var events []map[string]interface{}
 	if err := jsonUnmarshal(buf.Bytes(), &events); err != nil {
@@ -151,6 +155,93 @@ func TestChromeTraceExport(t *testing.T) {
 	}
 	if meta == 0 {
 		t.Fatal("missing process/thread metadata")
+	}
+}
+
+// TestChromeTraceHostLane exercises the host process: a host-attributed
+// event (negative device id) must round-trip into the dedicated "Host"
+// process (pid = numGPUs) rather than being silently dropped, while events
+// beyond the exported GPU range are counted as dropped.
+func TestChromeTraceHostLane(t *testing.T) {
+	r := NewRecorder()
+	r.OnKernel(0, "GEMM", 0, 2)
+	r.Events = append(r.Events, Event{Dev: -1, Kind: OpDtoH, Label: "host-side", Start: 0, End: 1, Bytes: 64})
+	r.Events = append(r.Events, Event{Dev: 5, Kind: OpKernel, Label: "out-of-range", Start: 0, End: 1})
+	var buf bytes.Buffer
+	dropped, err := r.WriteChromeTrace(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1 (only the out-of-range event)", dropped)
+	}
+	var events []map[string]interface{}
+	if err := jsonUnmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	hostPid := float64(2)
+	var hostEvents, hostProcMeta, complete int
+	for _, e := range events {
+		switch e["ph"] {
+		case "X":
+			complete++
+			if e["pid"].(float64) == hostPid {
+				hostEvents++
+				if e["name"] != "host-side" {
+					t.Fatalf("unexpected event in host lane: %v", e["name"])
+				}
+			}
+		case "M":
+			if e["name"] == "process_name" && e["pid"].(float64) == hostPid {
+				args := e["args"].(map[string]interface{})
+				if args["name"] != "Host" {
+					t.Fatalf("host process named %v, want Host", args["name"])
+				}
+				hostProcMeta++
+			}
+		}
+	}
+	if complete != 2 {
+		t.Fatalf("complete events = %d, want 2 (kernel + host event)", complete)
+	}
+	if hostEvents != 1 {
+		t.Fatalf("host-lane events = %d, want 1", hostEvents)
+	}
+	if hostProcMeta != 1 {
+		t.Fatalf("host process metadata records = %d, want 1", hostProcMeta)
+	}
+}
+
+// TestChromeTraceUnknownKindLane pins the overflow lane: an OpKind beyond
+// the named set must land on its own thread id, not collide with the
+// kernel lane.
+func TestChromeTraceUnknownKindLane(t *testing.T) {
+	r := NewRecorder()
+	r.OnKernel(0, "GEMM", 0, 2)
+	r.Events = append(r.Events, Event{Dev: 0, Kind: numKinds + 3, Label: "future-kind", Start: 0, End: 1})
+	var buf bytes.Buffer
+	if _, err := r.WriteChromeTrace(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := jsonUnmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	for _, e := range events {
+		if e["ph"] != "X" {
+			continue
+		}
+		tid := int(e["tid"].(float64))
+		switch e["name"] {
+		case "GEMM":
+			if tid != 0 {
+				t.Fatalf("kernel lane = %d, want 0", tid)
+			}
+		case "future-kind":
+			if tid != chromeLaneOther {
+				t.Fatalf("unknown kind lane = %d, want %d", tid, chromeLaneOther)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,97 @@
+package xkrt
+
+import (
+	"errors"
+	"fmt"
+
+	"xkblas/internal/cache"
+	"xkblas/internal/topology"
+)
+
+// Cancellation of a dataflow graph rides the same first-wins error plumbing
+// as device OOM (rt.fail): the pump stops issuing work, Barrier returns as
+// soon as the engine drains at the current virtual time, and every synthetic
+// under-transfer record left by the optimistic chain planner is cancelled so
+// piggybacked waiters cascade the error instead of wedging.
+//
+// Cancel is the runtime's only concurrency-safe entry point: it records the
+// cause under a mutex and aborts the engine through its atomic stop flag.
+// All graph surgery (failing the run, cancelling chain marks) happens later
+// on the simulation goroutine, inside Barrier, so no runtime state is ever
+// touched from two goroutines.
+
+// ErrCanceled is the sentinel matched by errors.Is when a run was cancelled
+// (deadline, signal, or an explicit Cancel) rather than failing on its own.
+var ErrCanceled = errors.New("xkrt: run canceled")
+
+// CanceledError wraps the cancellation cause (e.g. context.DeadlineExceeded)
+// so callers can match both ErrCanceled and the original context error.
+type CanceledError struct {
+	Cause error
+}
+
+func (e *CanceledError) Error() string {
+	if e.Cause == nil {
+		return "xkrt: run canceled"
+	}
+	return fmt.Sprintf("xkrt: run canceled: %v", e.Cause)
+}
+
+// Is reports sentinel identity for errors.Is(err, ErrCanceled).
+func (e *CanceledError) Is(target error) bool { return target == ErrCanceled }
+
+// Unwrap exposes the cause to errors.Is/As (context.Canceled,
+// context.DeadlineExceeded).
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// chainMark remembers a synthetic under-transfer record registered by the
+// optimistic chain planner: the pair the cancellation sweep must
+// CancelInflight if the record is still pending when the run aborts.
+type chainMark struct {
+	tile *cache.Tile
+	dst  topology.DeviceID
+}
+
+// Cancel requests cancellation of the run with the given cause (nil is
+// recorded as a bare cancellation). The first cause wins; later calls are
+// no-ops. Safe to call from any goroutine: the engine aborts via its atomic
+// stop flag and the graph teardown is deferred to Barrier on the simulation
+// goroutine.
+func (rt *Runtime) Cancel(cause error) {
+	rt.cancelMu.Lock()
+	if !rt.cancelReq {
+		rt.cancelReq = true
+		rt.cancelCause = cause
+	}
+	rt.cancelMu.Unlock()
+	rt.Eng.Stop()
+}
+
+// cancelRequested reports (once) the recorded cancellation cause.
+func (rt *Runtime) cancelRequested() (bool, error) {
+	rt.cancelMu.Lock()
+	defer rt.cancelMu.Unlock()
+	return rt.cancelReq, rt.cancelCause
+}
+
+// finishCancel performs the simulation-goroutine half of a cancellation
+// after the engine stopped: fail the run first-wins with a typed
+// CanceledError and cascade the error through every still-pending synthetic
+// under-transfer record, in registration order, so chained waiters are
+// notified instead of stranded.
+func (rt *Runtime) finishCancel(cause error) {
+	err := rt.runErr
+	if err == nil {
+		err = &CanceledError{Cause: cause}
+		rt.fail(err)
+	}
+	for _, m := range rt.chains {
+		// Records adopted by a physical StartTransfer (started) or already
+		// resolved/cancelled are skipped; CancelInflight of a started record
+		// would panic and of a missing one is a no-op anyway.
+		if m.tile.InflightTo(m.dst) && !m.tile.InflightStarted(m.dst) {
+			rt.Cache.CancelInflight(m.tile, m.dst, err)
+		}
+	}
+	rt.chains = nil
+}

@@ -85,6 +85,10 @@ func (rt *Runtime) issueFetch(tile *cache.Tile, src topology.DeviceID, dst topol
 	}
 	rt.stats.ChainedHops++
 	rt.Cache.MarkInflight(tile, dst)
+	// Remember the synthetic mark so a run cancellation can sweep it: if the
+	// upstream hop never lands (engine aborted), nothing else would notify
+	// the waiters piggybacked on dst.
+	rt.chains = append(rt.chains, chainMark{tile: tile, dst: dst})
 	rt.armChainHop(tile, src, dst, done)
 }
 

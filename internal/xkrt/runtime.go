@@ -1,7 +1,9 @@
 package xkrt
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
 	"xkblas/internal/cache"
 	"xkblas/internal/check"
@@ -180,10 +182,23 @@ type Runtime struct {
 	decisions policy.Decisions
 
 	// audit is the attached coherence auditor (nil unless -check); runErr
-	// records the first unrecoverable run failure (device OOM): the pump
-	// stops issuing work and Barrier returns early instead of spinning.
+	// records the first unrecoverable run failure (device OOM or
+	// cancellation): the pump stops issuing work and Barrier returns early
+	// instead of spinning.
 	audit  *check.Auditor
 	runErr error
+
+	// chains lists the synthetic under-transfer marks registered by the
+	// optimistic chain planner, in registration order; finishCancel cascades
+	// ErrCanceled through the still-pending ones so piggybacked waiters are
+	// notified instead of wedged.
+	chains []chainMark
+
+	// cancelMu guards the cross-goroutine cancellation request (Cancel may
+	// run on a watchdog goroutine while the engine fires events).
+	cancelMu    sync.Mutex
+	cancelReq   bool
+	cancelCause error
 
 	stats RuntimeStats
 }
@@ -422,13 +437,27 @@ func (rt *Runtime) link(t *Task) {
 }
 
 // Barrier drives the simulation until every submitted task has completed
-// and returns the virtual time. On a failed run (Err() != nil) it returns
-// as soon as the in-flight events drain — tasks stranded by the failure
-// are expected, not a deadlock — and the caller must check Err.
+// and returns the virtual time. On a failed or cancelled run (Err() !=
+// nil) it returns as soon as the engine drains or aborts at the current
+// virtual time — tasks stranded by the failure are expected, not a
+// deadlock — and the caller must check Err.
 func (rt *Runtime) Barrier() sim.Time {
 	rt.Eng.RunWhile(func() bool { return rt.pending > 0 })
 	if rt.pending > 0 {
+		if req, cause := rt.cancelRequested(); req || rt.Eng.Stopped() {
+			// The engine aborted mid-graph (Cancel, or a raw Engine.Stop):
+			// finish the cancellation on this goroutine — fail first-wins
+			// and cascade through the pending synthetic under-transfer
+			// records. A cancel that lands after the graph drained is moot.
+			rt.finishCancel(cause)
+		}
 		if rt.runErr != nil {
+			if errors.Is(rt.runErr, ErrCanceled) {
+				// A cancelled drain is a legitimate end state: verify the
+				// memory accounting and count the run as audited without
+				// the quiescent checks that only hold after a clean drain.
+				rt.Cache.AuditCancelledDrain()
+			}
 			return rt.Eng.Now()
 		}
 		panic(fmt.Sprintf("xkrt: deadlock, %d tasks pending with no events", rt.pending))
