@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-cancel stress check bench verify experiments experiments-quick examples fmt fmtcheck vet clean
+.PHONY: all build test race race-cancel metrics-race stress check bench verify experiments experiments-quick examples fmt fmtcheck vet clean
 
 all: check
 
@@ -25,6 +25,13 @@ race:
 race-cancel:
 	$(GO) test -race -count=1 -run 'Cancel|Stop' ./internal/sim/ ./internal/xkrt/ ./internal/bench/ ./cmd/xkbench/
 
+# Metrics layer under the race detector: registry primitives, the parallel
+# sweep's snapshot determinism/parity, live aggregation scraped over HTTP
+# while a sweep runs, and the command-level sinks.
+metrics-race:
+	$(GO) test -race -count=1 ./internal/metrics/
+	$(GO) test -race -count=1 -run 'Metrics' ./internal/bench/ ./internal/xkrt/ ./cmd/xkbench/
+
 # Coherence stress gate (fixed seeds, deterministic): the randomized DAG
 # audit sweep over every policy bundle/topology/mode, the cache coherence
 # fuzzer, the auditor's mutation self-tests, and the mode-parity check.
@@ -34,7 +41,7 @@ stress:
 	$(GO) test -count=1 ./internal/check/
 
 # Default verification gate: build, vet, formatting, tests, stress, race pass.
-check: build vet fmtcheck test stress race race-cancel
+check: build vet fmtcheck test stress race race-cancel metrics-race
 
 # One testing.B benchmark per paper table/figure plus the ablations.
 bench:

@@ -31,6 +31,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -41,6 +44,7 @@ import (
 	"xkblas/internal/bench"
 	"xkblas/internal/blasops"
 	"xkblas/internal/check"
+	"xkblas/internal/metrics"
 )
 
 func main() {
@@ -62,10 +66,23 @@ func main() {
 		"run every simulation under the coherence-invariant auditor (internal/check); violations surface as per-point errors and a non-zero exit")
 	timeout := flag.Duration("timeout", 0,
 		"wall-clock bound for the whole run (0 = none); on expiry — or on Ctrl-C — no new simulations start, in-flight ones are aborted, completed points are flushed to every sink and the exit status is nonzero")
+	metricsFlag := flag.Bool("metrics", false,
+		"collect per-run utilization metrics (resource occupancy, link-class traffic, cache and scheduler counters); prints a per-point rollup table and, with -csv out.csv, writes the full snapshots to out.metrics.json")
+	serve := flag.String("serve", "",
+		"listen address (e.g. :9090) for a live Prometheus /metrics endpoint aggregating all runs, plus net/http/pprof under /debug/pprof/; implies -metrics")
 	flag.Parse()
 
 	bench.DefaultParallelism = *parallel
 	bench.CheckRuns = *checkFlag
+	if *serve != "" {
+		*metricsFlag = true
+		bench.GlobalMetrics = metrics.Default()
+		if _, err := serveMetrics(*serve); err != nil {
+			fmt.Fprintf(os.Stderr, "xkbench: -serve %s: %v\n", *serve, err)
+			os.Exit(2)
+		}
+	}
+	bench.MetricsEnabled = *metricsFlag
 
 	// Deadline and SIGINT share one context; bench.SweepContext hands it to
 	// every experiment driver. Without -timeout and without a signal the
@@ -156,12 +173,29 @@ func main() {
 		}
 	}
 
+	if *metricsFlag && len(points) > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "Resource utilization (best tile, first measured run):")
+		if err := bench.WriteMetricsTable(w, points); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if *csvPath != "" {
 		if err := writeCSVFile(*csvPath, points); err != nil {
 			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(w, "wrote %d points to %s\n", len(points), *csvPath)
+		if *metricsFlag {
+			mp := metricsPath(*csvPath)
+			if err := writeMetricsJSONFile(mp, points); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics json: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(w, "wrote metrics snapshots to %s\n", mp)
+		}
 	}
 
 	if *checkFlag {
@@ -202,6 +236,60 @@ func writeCSVFile(path string, points []bench.Point) error {
 	return writeCSVTo(f, points)
 }
 
+// metricsPath derives the metrics-JSON sink path from the CSV path:
+// out.csv -> out.metrics.json.
+func metricsPath(csvPath string) string {
+	return strings.TrimSuffix(csvPath, ".csv") + ".metrics.json"
+}
+
+// writeMetricsJSONTo writes the per-point metrics snapshots to wc and closes
+// it, reporting the first error of either step (same contract as
+// writeCSVTo).
+func writeMetricsJSONTo(wc io.WriteCloser, points []bench.Point) error {
+	werr := bench.WriteMetricsJSON(wc, points)
+	cerr := wc.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// writeMetricsJSONFile creates path and writes through writeMetricsJSONTo.
+func writeMetricsJSONFile(path string, points []bench.Point) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return writeMetricsJSONTo(f, points)
+}
+
+// serveMetrics starts the live observation endpoint: the process-wide
+// aggregate registry as Prometheus text under /metrics and the standard
+// pprof handlers under /debug/pprof/. The listener is bound synchronously —
+// address errors fail the command before any sweep starts and the bound
+// address is returned — then serving proceeds in the background for the
+// life of the process.
+func serveMetrics(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler(metrics.Default()))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Fprintf(os.Stderr, "xkbench: serving /metrics and /debug/pprof/ on %s\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "xkbench: metrics server: %v\n", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
 // customSweep runs a user-specified sweep over the library roster.
 func customSweep(w *os.File, libsSpec, routinesSpec, sizesSpec, tilesSpec string, runs int, dod bool) ([]bench.Point, error) {
 	cfg := bench.Config{
@@ -210,6 +298,7 @@ func customSweep(w *os.File, libsSpec, routinesSpec, sizesSpec, tilesSpec string
 		Progress:      w,
 		ExtraTilesFor: map[string]bool{"cuBLAS-XT": true, "Slate": true},
 		Parallel:      bench.DefaultParallelism,
+		Metrics:       bench.MetricsEnabled,
 		Ctx:           bench.SweepContext,
 	}
 	if dod {

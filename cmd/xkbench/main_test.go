@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +13,7 @@ import (
 
 	"xkblas/internal/bench"
 	"xkblas/internal/blasops"
+	"xkblas/internal/metrics"
 )
 
 // closeFailSink writes fine but fails on Close — the shape of a full disk
@@ -93,5 +97,103 @@ func TestWriteCSVFileRoundTrip(t *testing.T) {
 
 	if err := writeCSVFile(filepath.Join(t.TempDir(), "missing", "out.csv"), nil); err == nil {
 		t.Fatal("expected create error for missing directory")
+	}
+}
+
+// metricsSamplePoints carries a snapshot so the metrics sink emits a row.
+func metricsSamplePoints() []bench.Point {
+	reg := metrics.NewRegistry()
+	reg.Counter("rt.tasks_run").Store(7)
+	pts := samplePoints()
+	pts[0].Metrics = reg.Snapshot()
+	return pts
+}
+
+func TestMetricsPathDerivation(t *testing.T) {
+	for in, want := range map[string]string{
+		"out.csv":          "out.metrics.json",
+		"dir/sweep.csv":    "dir/sweep.metrics.json",
+		"noext":            "noext.metrics.json",
+		"weird.csv.backup": "weird.csv.backup.metrics.json",
+	} {
+		if got := metricsPath(in); got != want {
+			t.Errorf("metricsPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteMetricsJSONToReportsCloseError(t *testing.T) {
+	bang := errors.New("close failed: no space left on device")
+	sink := &closeFailSink{closeErr: bang}
+	if err := writeMetricsJSONTo(sink, metricsSamplePoints()); !errors.Is(err, bang) {
+		t.Fatalf("error = %v, want the close error", err)
+	}
+	if !sink.closed {
+		t.Fatal("sink was not closed")
+	}
+	if !strings.Contains(sink.String(), "rt.tasks_run") {
+		t.Fatalf("payload written before close lacks metrics: %q", sink.String())
+	}
+}
+
+func TestWriteMetricsJSONToWriteErrorWins(t *testing.T) {
+	werr := errors.New("write failed")
+	cerr := errors.New("close failed")
+	if err := writeMetricsJSONTo(&writeFailSink{writeErr: werr, closeErr: cerr}, metricsSamplePoints()); !errors.Is(err, werr) {
+		t.Fatalf("error = %v, want the write error", err)
+	}
+}
+
+func TestWriteMetricsJSONFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pts.metrics.json")
+	if err := writeMetricsJSONFile(path, metricsSamplePoints()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("sink output is not valid JSON: %v\n%s", err, data)
+	}
+	if len(parsed) != 1 {
+		t.Fatalf("entries = %d, want 1", len(parsed))
+	}
+	m, ok := parsed[0]["metrics"].(map[string]any)
+	if !ok || m["rt.tasks_run"] != float64(7) {
+		t.Fatalf("metrics payload = %#v, want rt.tasks_run 7", parsed[0]["metrics"])
+	}
+}
+
+// TestServeMetricsEndpoints boots the -serve listener on an ephemeral port
+// and checks both the Prometheus exposition and the pprof index respond.
+func TestServeMetricsEndpoints(t *testing.T) {
+	metrics.Default().Counter("rt.tasks_run").Store(3)
+	addr, err := serveMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s read: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "xkblas_rt_tasks_run 3") {
+		t.Fatalf("/metrics exposition lacks the counter:\n%s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index looks wrong:\n%.200s", body)
 	}
 }

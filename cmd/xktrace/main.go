@@ -44,6 +44,7 @@ func main() {
 	gantt := flag.Bool("gantt", false, "render the ASCII Gantt chart")
 	width := flag.Int("width", 120, "Gantt width in characters")
 	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) to this path")
+	metricsFlag := flag.Bool("metrics", false, "print the run's full deterministic metrics snapshot as JSON")
 	flag.Parse()
 
 	lib := libByName(*libName)
@@ -56,7 +57,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	req := baseline.Request{Routine: r, N: *n, NB: *nb, Trace: true}
+	req := baseline.Request{Routine: r, N: *n, NB: *nb, Trace: true, Metrics: *metricsFlag}
 	if *dod {
 		req.Scenario = baseline.DataOnDevice
 	}
@@ -102,6 +103,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gantt: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	if *metricsFlag {
+		fmt.Println("\nMetrics snapshot:")
+		if err := res.Metrics.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
 	}
 
 	if *chrome != "" {

@@ -22,6 +22,7 @@ import (
 	"xkblas/internal/core"
 	"xkblas/internal/device"
 	"xkblas/internal/matrix"
+	"xkblas/internal/metrics"
 	"xkblas/internal/policy"
 	"xkblas/internal/sim"
 	"xkblas/internal/topology"
@@ -73,6 +74,12 @@ type Request struct {
 	// (xkbench -check): any protocol violation surfaces as Result.Err.
 	Check bool
 
+	// Metrics, when true, collects the run's full utilization snapshot
+	// (resource occupancy, link-class traffic, cache and scheduler
+	// counters) into Result.Metrics. Off, the run does no collection and
+	// produces output byte-identical to a metrics-free build.
+	Metrics bool
+
 	// Ctx, when non-nil, bounds the run: once it is cancelled (deadline or
 	// signal) the simulation aborts at the current virtual time and
 	// Result.Err carries xkrt.ErrCanceled wrapping the context error. A nil
@@ -99,7 +106,23 @@ type Result struct {
 	// Decisions counts the policy-layer choices (transfer sources by link
 	// class, optimistic chains, evictions, steals) taken during the run.
 	Decisions policy.Decisions
-	Err       error
+	// Metrics is the deterministic utilization snapshot (nil unless
+	// Request.Metrics was set).
+	Metrics metrics.Snapshot
+	Err     error
+}
+
+// collectMetrics gathers the handle's utilization snapshot when the request
+// asked for one (nil otherwise). The trace recorder's per-GPU occupancy
+// rides along when tracing is active.
+func collectMetrics(req Request, h *core.Handle, rec *trace.Recorder) metrics.Snapshot {
+	if !req.Metrics {
+		return nil
+	}
+	if rec != nil {
+		rec.PublishMetrics(h.RT.Registry(), len(h.Plat.GPUs))
+	}
+	return h.RT.CollectMetrics()
 }
 
 // Library is a multi-GPU BLAS implementation under test.
@@ -258,6 +281,7 @@ func runStandard(h *core.Handle, req Request, rec *trace.Recorder) (res Result) 
 		Rec:       rec,
 		Cache:     h.RT.Cache.Stats(),
 		Decisions: h.RT.Decisions(),
+		Metrics:   collectMetrics(req, h, rec),
 	}
 }
 
@@ -384,5 +408,5 @@ func (l *StdLib) RunComposition(req Request) (res Result) {
 		rec.Decisions = h.RT.Decisions()
 	}
 	return Result{Elapsed: el, GFlops: gf, Rec: rec, Cache: h.RT.Cache.Stats(),
-		Decisions: h.RT.Decisions()}
+		Decisions: h.RT.Decisions(), Metrics: collectMetrics(req, h, rec)}
 }

@@ -92,5 +92,6 @@ func (l cublasMGLib) Run(req Request) (res Result) {
 		Rec:       rec,
 		Cache:     h.RT.Cache.Stats(),
 		Decisions: h.RT.Decisions(),
+		Metrics:   collectMetrics(req, h, rec),
 	}
 }

@@ -136,6 +136,7 @@ func (l *slateLib) Run(req Request) (res Result) {
 		Rec:       rec,
 		Cache:     h.RT.Cache.Stats(),
 		Decisions: h.RT.Decisions(),
+		Metrics:   collectMetrics(req, h, rec),
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"xkblas/internal/baseline"
 	"xkblas/internal/blasops"
+	"xkblas/internal/metrics"
 	"xkblas/internal/policy"
 	"xkblas/internal/sim"
 	"xkblas/internal/xkrt"
@@ -34,7 +35,12 @@ type Point struct {
 	// measured repetition — the counted choices (transfer sources by link
 	// class, optimistic chains, evictions, steals) behind the GFlops number.
 	Decisions policy.Decisions
-	Err       error
+	// Metrics is the utilization snapshot of the same repetition (nil
+	// unless Config.Metrics was set). Like Decisions it comes from the best
+	// tile's first measured rep, so sequential and parallel sweeps agree
+	// byte-for-byte.
+	Metrics metrics.Snapshot
+	Err     error
 }
 
 // Config drives a sweep.
@@ -71,6 +77,11 @@ type Config struct {
 	// sweep is bit-identical to an unaudited one; a violation surfaces as
 	// the point's Err.
 	Check bool
+	// Metrics collects every leaf run's utilization snapshot and attaches
+	// the best tile's first measured rep to each Point (xkbench -metrics).
+	// Off (the default), no collection happens and output is byte-identical
+	// to a metrics-free harness.
+	Metrics bool
 	// Ctx, when non-nil, bounds the sweep: once it is cancelled (deadline
 	// or signal) no new leaf simulations start, in-flight ones are aborted
 	// through the runtime's cancellation path, and RunSweep returns the
@@ -89,6 +100,17 @@ var CheckRuns bool
 // their own Config/Request values internally (xkbench -exp); the -timeout
 // flag and the SIGINT handler set it process-wide. nil means no bound.
 var SweepContext context.Context
+
+// MetricsEnabled mirrors Config.Metrics for the experiment drivers that
+// build their own Config internally (xkbench -exp); the -metrics flag sets
+// it process-wide.
+var MetricsEnabled bool
+
+// GlobalMetrics, when non-nil, receives every leaf run's snapshot merged in
+// (counters summed, gauges maxed) — the live aggregate behind the xkbench
+// -serve endpoint. The merge is observational: it never feeds back into
+// points or sinks, so it may run concurrently with scrapes.
+var GlobalMetrics *metrics.Registry
 
 // DefaultTiles is the paper's tile-size candidate set.
 func DefaultTiles() []int { return []int{1024, 2048, 4096} }
@@ -184,7 +206,7 @@ func runRep(cfg Config, lib baseline.Library, r blasops.Routine, n, nb, rep int)
 			return baseline.Result{Err: err}
 		}
 	}
-	return lib.Run(baseline.Request{
+	res := lib.Run(baseline.Request{
 		Routine:   r,
 		N:         n,
 		NB:        nb,
@@ -192,8 +214,13 @@ func runRep(cfg Config, lib baseline.Library, r blasops.Routine, n, nb, rep int)
 		NoiseAmp:  cfg.NoiseAmp,
 		NoiseSeed: int64(rep)*7919 + int64(n) + int64(nb),
 		Check:     cfg.Check || CheckRuns,
+		Metrics:   cfg.Metrics || MetricsEnabled,
 		Ctx:       cfg.Ctx,
 	})
+	if GlobalMetrics != nil && res.Metrics != nil {
+		GlobalMetrics.MergeSnapshot(res.Metrics)
+	}
+	return res
 }
 
 // tileRuns holds the per-repetition results of one candidate tile size.
@@ -261,7 +288,8 @@ func reducePoint(lib baseline.Library, r blasops.Routine, n int, tiles []tileRun
 				GFlops: mean, CI95: ci, Runs: len(samples),
 				// First measured repetition: deterministic for a given
 				// config, so sequential and parallel sweeps agree.
-				Decisions: tr.res[1].Decisions}
+				Decisions: tr.res[1].Decisions,
+				Metrics:   tr.res[1].Metrics}
 		}
 	}
 	if best.Err != nil && lastErr != nil {
@@ -406,17 +434,7 @@ func WriteCSV(w io.Writer, points []Point) error {
 	if _, err := fmt.Fprintln(w, "routine,library,n,nb,gflops,ci95,runs,error"); err != nil {
 		return err
 	}
-	sorted := append([]Point{}, points...)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		a, b := sorted[i], sorted[j]
-		if a.Routine != b.Routine {
-			return a.Routine < b.Routine
-		}
-		if a.Lib != b.Lib {
-			return a.Lib < b.Lib
-		}
-		return a.N < b.N
-	})
+	sorted := sortPoints(points)
 	for _, p := range sorted {
 		errStr := ""
 		if p.Err != nil {
@@ -435,17 +453,7 @@ func WriteCSV(w io.Writer, points []Point) error {
 // scheduling outcomes. Points are ordered like WriteCSV; failed points are
 // skipped (they have no counters).
 func WriteDecisions(w io.Writer, points []Point) error {
-	sorted := append([]Point{}, points...)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		a, b := sorted[i], sorted[j]
-		if a.Routine != b.Routine {
-			return a.Routine < b.Routine
-		}
-		if a.Lib != b.Lib {
-			return a.Lib < b.Lib
-		}
-		return a.N < b.N
-	})
+	sorted := sortPoints(points)
 	if _, err := fmt.Fprintf(w, "%-8s %-28s %-7s %-6s %8s %8s %8s %8s %8s %8s %8s %8s %8s %8s\n",
 		"routine", "library", "n", "nb",
 		"nv2", "nv1", "pcie", "host", "chain+", "chain-", "evict", "dirtysk", "owner", "steal"); err != nil {

@@ -41,6 +41,7 @@ func sweepDefaults(quick bool) Config {
 		NoiseAmp:       0.02,
 		MaxTilesPerDim: 40,
 		Parallel:       DefaultParallelism,
+		Metrics:        MetricsEnabled,
 		Ctx:            SweepContext,
 	}
 	if quick {

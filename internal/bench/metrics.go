@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"xkblas/internal/metrics"
+)
+
+// sortPoints returns the points in the stable (routine, library, N) order
+// every sink uses.
+func sortPoints(points []Point) []Point {
+	sorted := append([]Point{}, points...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Routine != b.Routine {
+			return a.Routine < b.Routine
+		}
+		if a.Lib != b.Lib {
+			return a.Lib < b.Lib
+		}
+		return a.N < b.N
+	})
+	return sorted
+}
+
+// WriteMetricsJSON emits one JSON array entry per point carrying a metrics
+// snapshot, ordered like WriteCSV. Formatting is fully manual and
+// deterministic — two sweeps of the same config produce identical bytes at
+// any parallelism level. Failed points and points without a snapshot are
+// skipped.
+func WriteMetricsJSON(w io.Writer, points []Point) error {
+	if _, err := io.WriteString(w, "["); err != nil {
+		return err
+	}
+	first := true
+	for _, p := range sortPoints(points) {
+		if p.Err != nil || p.Metrics == nil {
+			continue
+		}
+		sep := ","
+		if first {
+			sep = ""
+			first = false
+		}
+		if _, err := fmt.Fprintf(w, "%s\n{\"routine\": %q, \"library\": %q, \"n\": %d, \"nb\": %d, \"metrics\": ",
+			sep, p.Routine.String(), p.Lib, p.N, p.NB); err != nil {
+			return err
+		}
+		if err := p.Metrics.WriteJSON(w); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "}"); err != nil {
+			return err
+		}
+	}
+	tail := "]\n"
+	if !first {
+		tail = "\n]\n"
+	}
+	_, err := io.WriteString(w, tail)
+	return err
+}
+
+// metricsTableCols are the per-class rollups shown by WriteMetricsTable —
+// the Table-3 shape: kernel occupancy next to the byte volume each link
+// class carried.
+var metricsTableCols = []struct{ header, name string }{
+	{"kern_busy", "class.kernel.busy_seconds"},
+	{"h2d_bytes", "class.h2d.bytes"},
+	{"d2h_bytes", "class.d2h.bytes"},
+	{"nvl_bytes", "class.nvlink.bytes"},
+	{"pcie_bytes", "class.pcie.bytes"},
+	{"qpi_bytes", "class.qpi.bytes"},
+	{"hits", "cache.hits"},
+	{"misses", "cache.misses"},
+}
+
+// WriteMetricsTable renders the headline utilization rollups of each point
+// as a human-readable table (one row per point, WriteCSV order). Points
+// without a snapshot are skipped.
+func WriteMetricsTable(w io.Writer, points []Point) error {
+	if _, err := fmt.Fprintf(w, "%-8s %-28s %-7s %-6s", "routine", "library", "n", "nb"); err != nil {
+		return err
+	}
+	for _, c := range metricsTableCols {
+		if _, err := fmt.Fprintf(w, " %12s", c.header); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for _, p := range sortPoints(points) {
+		if p.Err != nil || p.Metrics == nil {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%-8s %-28s %-7d %-6d", p.Routine, p.Lib, p.N, p.NB); err != nil {
+			return err
+		}
+		for _, c := range metricsTableCols {
+			cell := "-"
+			if s, ok := p.Metrics.Get(c.name); ok {
+				cell = formatCell(s)
+			}
+			if _, err := fmt.Fprintf(w, " %12s", cell); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatCell compacts a sample value for the table (3 significant digits
+// with an SI-style magnitude suffix for large values).
+func formatCell(s metrics.Sample) string {
+	v := s.Float
+	if s.Kind == metrics.KindCounter {
+		v = float64(s.Int)
+	}
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av >= 1e12:
+		return fmt.Sprintf("%.3gT", v/1e12)
+	case av >= 1e9:
+		return fmt.Sprintf("%.3gG", v/1e9)
+	case av >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}

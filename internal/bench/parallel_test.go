@@ -27,6 +27,7 @@ func parityConfig() Config {
 		ExtraTilesFor: map[string]bool{"cuBLAS-XT": true, "Slate": true},
 		Runs:          2,
 		NoiseAmp:      0.02,
+		Metrics:       true,
 	}
 }
 
@@ -44,6 +45,14 @@ func pointsIdentical(t *testing.T, label string, a, b []Point) {
 		}
 		if p.NB != q.NB || p.GFlops != q.GFlops || p.CI95 != q.CI95 || p.Runs != q.Runs {
 			t.Fatalf("%s: point %d values differ:\n  seq: %+v\n  par: %+v", label, i, p, q)
+		}
+		if p.Decisions != q.Decisions {
+			t.Fatalf("%s: point %d decision counters differ:\n  seq: %v\n  par: %v",
+				label, i, p.Decisions, q.Decisions)
+		}
+		if !p.Metrics.Equal(q.Metrics) {
+			t.Fatalf("%s: point %d metrics snapshots differ (lens %d vs %d)",
+				label, i, len(p.Metrics), len(q.Metrics))
 		}
 		pe, qe := "", ""
 		if p.Err != nil {

@@ -21,6 +21,7 @@ import (
 	"xkblas/internal/check"
 	"xkblas/internal/device"
 	"xkblas/internal/matrix"
+	"xkblas/internal/metrics"
 	"xkblas/internal/policy"
 	"xkblas/internal/sim"
 	"xkblas/internal/topology"
@@ -134,11 +135,16 @@ type lruEntry struct {
 	dev  topology.DeviceID
 }
 
-// Stats aggregates cache traffic.
+// Stats aggregates cache traffic. Hits/Misses/InflightWaits are counted by
+// the runtime's fetch path through NoteHit/NoteMiss/NoteInflightWait: a hit
+// finds a valid replica already on the requesting device, a miss requires a
+// transfer, and an inflight-wait piggybacks on a transfer some other task
+// already started.
 type Stats struct {
 	H2DBytes, D2HBytes, P2PBytes int64
 	H2DCount, D2HCount, P2PCount int64
 	Evictions                    int64
+	Hits, Misses, InflightWaits  int64
 }
 
 // Cache is the multi-GPU software cache.
@@ -151,8 +157,8 @@ type Cache struct {
 	// policy.LRUReadOnlyFirst (XKaapi's default).
 	Evictor policy.Evictor
 
-	// Decisions, when non-nil, receives the eviction decision counters.
-	Decisions *policy.Decisions
+	// Counters, when non-nil, receives the eviction decision counters.
+	Counters *policy.Counters
 
 	// Audit, when non-nil, receives every state transition for coherence
 	// verification (the `internal/check` invariant auditor). Auditing is
@@ -176,6 +182,36 @@ func New(plat *device.Platform, functional bool) *Cache {
 
 // Stats returns a copy of the traffic counters.
 func (c *Cache) Stats() Stats { return c.stats }
+
+// NoteHit records an input fetch satisfied by a valid local replica.
+func (c *Cache) NoteHit() { c.stats.Hits++ }
+
+// NoteMiss records an input fetch that needed a transfer.
+func (c *Cache) NoteMiss() { c.stats.Misses++ }
+
+// NoteInflightWait records a fetch that piggybacked on a transfer already
+// in flight to the requesting device.
+func (c *Cache) NoteInflightWait() { c.stats.InflightWaits++ }
+
+// PublishMetrics stores the traffic counters into reg under the "cache."
+// prefix. Store (not Add) keeps publication idempotent, so it may run at
+// every collection point. A nil registry is a no-op.
+func (c *Cache) PublishMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s := c.stats
+	reg.Counter("cache.hits").Store(s.Hits)
+	reg.Counter("cache.misses").Store(s.Misses)
+	reg.Counter("cache.inflight_waits").Store(s.InflightWaits)
+	reg.Counter("cache.evictions").Store(s.Evictions)
+	reg.Counter("cache.h2d.bytes").Store(s.H2DBytes)
+	reg.Counter("cache.h2d.count").Store(s.H2DCount)
+	reg.Counter("cache.d2h.bytes").Store(s.D2HBytes)
+	reg.Counter("cache.d2h.count").Store(s.D2HCount)
+	reg.Counter("cache.p2p.bytes").Store(s.P2PBytes)
+	reg.Counter("cache.p2p.count").Store(s.P2PCount)
+}
 
 // NewMatrixID reserves a fresh matrix identifier.
 func (c *Cache) NewMatrixID() MatrixID {
@@ -393,11 +429,11 @@ func (c *Cache) evict(dev topology.DeviceID, need int64) {
 				}
 				c.dropReplica(ent.tile, dev, "eviction")
 				c.stats.Evictions++
-				if c.Decisions != nil {
-					c.Decisions.EvictClean++
+				if c.Counters != nil {
+					c.Counters.EvictClean.Add(1)
 				}
-			} else if cand.Dirty && c.Decisions != nil {
-				c.Decisions.EvictDirtySkipped++
+			} else if cand.Dirty && c.Counters != nil {
+				c.Counters.EvictDirtySkipped.Add(1)
 			}
 		}
 		e = next

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"xkblas/internal/blasops"
+	"xkblas/internal/metrics"
 	"xkblas/internal/sim"
 	"xkblas/internal/topology"
 )
@@ -267,4 +268,77 @@ func TestFairShareLinkModel(t *testing.T) {
 	if agg > float64(last)*0.05 {
 		t.Fatalf("aggregate throughput should match FIFO: PS %v vs FIFO %v", e0, last)
 	}
+}
+
+// TestPlatformMetricsPublication drives identical transfers on two fresh
+// platforms and checks the published utilization metrics: per-resource
+// counters exist, the class rollups aggregate them, and two identically
+// driven platforms publish byte-equal snapshots (the determinism contract
+// of the metrics layer).
+func TestPlatformMetricsPublication(t *testing.T) {
+	run := func() metrics.Snapshot {
+		eng, p := newDGX1()
+		p.Transfer(topology.Host, 0, 1<<20, nil) // H2D
+		p.Transfer(0, 3, 1<<20, nil)             // NVLink peer
+		p.Transfer(0, 5, 1<<20, nil)             // no NVLink: PCIe cross-socket (QPI)
+		eng.Run()
+		reg := metrics.NewRegistry()
+		p.PublishMetrics(reg)
+		// Publishing twice must not change anything (Store/Set semantics).
+		p.PublishMetrics(reg)
+		return reg.Snapshot()
+	}
+	a, b := run(), run()
+	if !a.Equal(b) {
+		t.Fatal("identically driven platforms published different snapshots")
+	}
+	if s, ok := a.Get("res.gpu0.h2d.served"); !ok || s.Int != 1 {
+		t.Fatalf("res.gpu0.h2d.served = %+v (%v), want 1", s, ok)
+	}
+	if s, ok := a.Get("class.h2d.bytes"); !ok || s.Float != 1<<20 {
+		t.Fatalf("class.h2d.bytes = %+v (%v), want %d", s, ok, 1<<20)
+	}
+	if s, ok := a.Get("class.nvlink.bytes"); !ok || s.Float != 1<<20 {
+		t.Fatalf("class.nvlink.bytes = %+v (%v), want %d", s, ok, 1<<20)
+	}
+	if s, ok := a.Get("class.qpi.bytes"); !ok || s.Float != 1<<20 {
+		t.Fatalf("class.qpi.bytes = %+v (%v), want %d", s, ok, 1<<20)
+	}
+	if s, ok := a.Get("class.qpi.busy_seconds"); !ok || s.Float <= 0 {
+		t.Fatalf("class.qpi.busy_seconds = %+v (%v), want > 0", s, ok)
+	}
+	// Nothing ran a kernel: the class exists with zero delivered work.
+	if s, ok := a.Get("class.kernel.flops"); !ok || s.Float != 0 {
+		t.Fatalf("class.kernel.flops = %+v (%v), want 0", s, ok)
+	}
+	// Every resource of the platform is tagged exactly once.
+	if n := len(p0Resources(t)); n == 0 {
+		t.Fatal("platform advertises no classed resources")
+	}
+}
+
+// p0Resources asserts the classed-resource list is complete: 4 per-GPU
+// resources, every NVLink, both directions of every PCIe switch, one QPI
+// lane per socket and the pinner.
+func p0Resources(t *testing.T) []ClassedResource {
+	t.Helper()
+	_, p := newDGX1()
+	rs := p.Resources()
+	want := 4*len(p.GPUs) + 2*p.Topo.NumPCIeSwitches() + p.Topo.NumSockets() + 1
+	nvlinks := 0
+	for _, cr := range rs {
+		if cr.Class == ClassNVLink {
+			nvlinks++
+		}
+		if cr.Res == nil {
+			t.Fatalf("classed resource %v has nil resource", cr.Class)
+		}
+	}
+	if len(rs) != want+nvlinks {
+		t.Fatalf("resources = %d, want %d fixed + %d NVLinks", len(rs), want, nvlinks)
+	}
+	if nvlinks == 0 {
+		t.Fatal("DGX-1 platform tagged no NVLink resources")
+	}
+	return rs
 }

@@ -77,7 +77,64 @@ type Platform struct {
 	// Inter-socket link per direction: qpi[srcSocket] carries
 	// srcSocket -> other socket traffic.
 	qpi []sim.Resource
+
+	// resources is every contended resource of the node tagged with its
+	// class, in the deterministic construction order (kernels and copy
+	// engines per GPU id, then NVLinks, PCIe switches, QPI, pinner). The
+	// metrics layer walks it to publish per-resource utilization and the
+	// per-class rollups of Table 3.
+	resources []ClassedResource
 }
+
+// ResourceClass labels a contended resource for the per-link-class traffic
+// rollups (Table 3 reproduces kernel occupancy and per-class byte volumes).
+type ResourceClass int
+
+const (
+	ClassKernel ResourceClass = iota
+	ClassH2D
+	ClassD2H
+	ClassLocal
+	ClassNVLink
+	ClassPCIe
+	ClassQPI
+	ClassPin
+	numResourceClasses
+)
+
+// String reports the class's metric-name segment.
+func (c ResourceClass) String() string {
+	switch c {
+	case ClassKernel:
+		return "kernel"
+	case ClassH2D:
+		return "h2d"
+	case ClassD2H:
+		return "d2h"
+	case ClassLocal:
+		return "local"
+	case ClassNVLink:
+		return "nvlink"
+	case ClassPCIe:
+		return "pcie"
+	case ClassQPI:
+		return "qpi"
+	case ClassPin:
+		return "pin"
+	default:
+		return "unknown"
+	}
+}
+
+// ClassedResource pairs a contended resource with its traffic class.
+type ClassedResource struct {
+	Class ResourceClass
+	Res   sim.Resource
+}
+
+// Resources lists every contended resource with its class, in deterministic
+// construction order.
+func (p *Platform) Resources() []ClassedResource { return p.resources }
 
 // NewPlatform instantiates topo on a fresh simulation engine with FIFO
 // links.
@@ -135,6 +192,29 @@ func NewPlatformWithLinks(eng *sim.Engine, topo *topology.Platform, links LinkMo
 	for s := 0; s < topo.NumSockets(); s++ {
 		p.qpi = append(p.qpi, mkLink(fmt.Sprintf("qpi.%d->", s), topo.InterSocketGBs*gb))
 	}
+	for _, g := range p.GPUs {
+		p.resources = append(p.resources,
+			ClassedResource{ClassKernel, g.Kernel},
+			ClassedResource{ClassH2D, g.H2D},
+			ClassedResource{ClassD2H, g.D2H},
+			ClassedResource{ClassLocal, g.Local})
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if nv := p.nvOut[i][j]; nv != nil {
+				p.resources = append(p.resources, ClassedResource{ClassNVLink, nv})
+			}
+		}
+	}
+	for s := range p.switchUp {
+		p.resources = append(p.resources,
+			ClassedResource{ClassPCIe, p.switchUp[s]},
+			ClassedResource{ClassPCIe, p.switchDown[s]})
+	}
+	for _, q := range p.qpi {
+		p.resources = append(p.resources, ClassedResource{ClassQPI, q})
+	}
+	p.resources = append(p.resources, ClassedResource{ClassPin, p.Pinner})
 	return p
 }
 

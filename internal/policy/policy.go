@@ -21,14 +21,17 @@ package policy
 import (
 	"fmt"
 
+	"xkblas/internal/metrics"
 	"xkblas/internal/topology"
 )
 
-// Decisions counts every choice the policy layer takes during one runtime's
-// lifetime. The counters explain *why* a configuration is fast or slow:
-// e.g. the Fig. 3 gap between XKBlas and its no-topo ablation shows up here
-// as peer traffic shifting from SrcNVLink2 to SrcPCIeP2P/SrcHost before it
-// shows up as lost GFlop/s.
+// Decisions is a point-in-time snapshot of every choice the policy layer
+// took during one runtime's lifetime (the live instruments are the
+// registry-backed Counters; Snapshot produces this value type). The
+// counters explain *why* a configuration is fast or slow: e.g. the Fig. 3
+// gap between XKBlas and its no-topo ablation shows up here as peer
+// traffic shifting from SrcNVLink2 to SrcPCIeP2P/SrcHost before it shows
+// up as lost GFlop/s.
 type Decisions struct {
 	// Transfer sources by link class of the chosen route (the ranking
 	// order of §III-B): double NVLink, single NVLink (or NVLink-to-host on
@@ -59,23 +62,95 @@ type Decisions struct {
 	Steals    int64
 }
 
+// Counters is the live, registry-backed form of Decisions: one
+// metrics.Counter per decision axis, registered under the "policy." prefix
+// so the decision counts ride the same deterministic snapshot/exposition
+// path as the resource-utilization metrics. A nil *Counters (and every
+// Counters built from a nil registry) is a no-op instrument set, so
+// counting sites need no guards.
+type Counters struct {
+	SrcNVLink2 *metrics.Counter
+	SrcNVLink1 *metrics.Counter
+	SrcPCIeP2P *metrics.Counter
+	SrcHost    *metrics.Counter
+
+	ChainsTaken  *metrics.Counter
+	ChainsMissed *metrics.Counter
+
+	EvictClean        *metrics.Counter
+	EvictDirtySkipped *metrics.Counter
+
+	OwnerHits *metrics.Counter
+	Steals    *metrics.Counter
+}
+
+// NewCounters registers the decision counters on reg (nil reg yields no-op
+// instruments).
+func NewCounters(reg *metrics.Registry) *Counters {
+	return &Counters{
+		SrcNVLink2:        reg.Counter("policy.src.nvlink2"),
+		SrcNVLink1:        reg.Counter("policy.src.nvlink1"),
+		SrcPCIeP2P:        reg.Counter("policy.src.pcie_p2p"),
+		SrcHost:           reg.Counter("policy.src.host"),
+		ChainsTaken:       reg.Counter("policy.chain.taken"),
+		ChainsMissed:      reg.Counter("policy.chain.missed"),
+		EvictClean:        reg.Counter("policy.evict.clean"),
+		EvictDirtySkipped: reg.Counter("policy.evict.dirty_skipped"),
+		OwnerHits:         reg.Counter("policy.sched.owner_hits"),
+		Steals:            reg.Counter("policy.sched.steals"),
+	}
+}
+
+// Snapshot reads the live counters into a Decisions value (zero on nil).
+func (c *Counters) Snapshot() Decisions {
+	if c == nil {
+		return Decisions{}
+	}
+	return Decisions{
+		SrcNVLink2:        c.SrcNVLink2.Value(),
+		SrcNVLink1:        c.SrcNVLink1.Value(),
+		SrcPCIeP2P:        c.SrcPCIeP2P.Value(),
+		SrcHost:           c.SrcHost.Value(),
+		ChainsTaken:       c.ChainsTaken.Value(),
+		ChainsMissed:      c.ChainsMissed.Value(),
+		EvictClean:        c.EvictClean.Value(),
+		EvictDirtySkipped: c.EvictDirtySkipped.Value(),
+		OwnerHits:         c.OwnerHits.Value(),
+		Steals:            c.Steals.Value(),
+	}
+}
+
+// countChainTaken and countChainMissed are the nil-safe increments the
+// optimistic selector uses.
+func (c *Counters) countChainTaken() {
+	if c != nil {
+		c.ChainsTaken.Add(1)
+	}
+}
+
+func (c *Counters) countChainMissed() {
+	if c != nil {
+		c.ChainsMissed.Add(1)
+	}
+}
+
 // CountTransfer classifies the link a transfer src→dst was chosen to cross
-// and bumps the matching source counter.
-func (d *Decisions) CountTransfer(topo *topology.Platform, src, dst topology.DeviceID) {
-	if d == nil {
+// and bumps the matching source counter (nil-safe).
+func (c *Counters) CountTransfer(topo *topology.Platform, src, dst topology.DeviceID) {
+	if c == nil {
 		return
 	}
 	if src == topology.Host {
-		d.SrcHost++
+		c.SrcHost.Add(1)
 		return
 	}
 	switch topo.GPULink(src, dst).Kind {
 	case topology.LinkNVLink2:
-		d.SrcNVLink2++
+		c.SrcNVLink2.Add(1)
 	case topology.LinkNVLink1, topology.LinkNVLinkHost:
-		d.SrcNVLink1++
+		c.SrcNVLink1.Add(1)
 	default:
-		d.SrcPCIeP2P++
+		c.SrcPCIeP2P.Add(1)
 	}
 }
 

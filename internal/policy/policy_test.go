@@ -3,6 +3,7 @@ package policy
 import (
 	"testing"
 
+	"xkblas/internal/metrics"
 	"xkblas/internal/topology"
 )
 
@@ -46,9 +47,9 @@ func (t *fakeTile) HomeOwner() topology.DeviceID       { return t.owner }
 func (t *fakeTile) SetHomeOwner(dev topology.DeviceID) { t.owner = dev }
 func (t *fakeTile) Coords() (int, int)                 { return t.i, t.j }
 
-func pick(t *testing.T, sel SourceSelector, tile TileView, dst topology.DeviceID, topo *topology.Platform, d *Decisions) (topology.DeviceID, bool) {
+func pick(t *testing.T, sel SourceSelector, tile TileView, dst topology.DeviceID, topo *topology.Platform, c *Counters) (topology.DeviceID, bool) {
 	t.Helper()
-	src, chained, ok := SelectSource(sel, topo, tile, dst, d)
+	src, chained, ok := SelectSource(sel, topo, tile, dst, c)
 	if !ok {
 		t.Fatalf("SelectSource(%s) found no copy", sel.Name())
 	}
@@ -120,15 +121,15 @@ func TestHostOnlyRejectsAllPeers(t *testing.T) {
 func TestOptimisticChainHitCountsTaken(t *testing.T) {
 	topo := topology.DGX1()
 	sel := Optimistic{Base: TopoRank{}, Ranked: true}
-	var d Decisions
+	c := NewCounters(metrics.NewRegistry())
 	tile := newFakeTile()
 	tile.host = true
 	tile.inflight = []topology.DeviceID{1, 3} // 3 is 2xNVLink to 0
-	src, chained := pick(t, sel, tile, 0, topo, &d)
+	src, chained := pick(t, sel, tile, 0, topo, c)
 	if !chained || src != 3 {
 		t.Fatalf("got (%d,%v), want (3,true): ranked chain onto the best in-flight peer", src, chained)
 	}
-	if d.ChainsTaken != 1 || d.ChainsMissed != 0 {
+	if d := c.Snapshot(); d.ChainsTaken != 1 || d.ChainsMissed != 0 {
 		t.Fatalf("counters = taken %d missed %d, want 1/0", d.ChainsTaken, d.ChainsMissed)
 	}
 }
@@ -136,20 +137,20 @@ func TestOptimisticChainHitCountsTaken(t *testing.T) {
 func TestOptimisticChainMissCountsMissed(t *testing.T) {
 	topo := topology.DGX1()
 	sel := Optimistic{Base: TopoRank{}, Ranked: true}
-	var d Decisions
+	c := NewCounters(metrics.NewRegistry())
 
 	// No transfer in flight anywhere: the heuristic looks and misses.
 	tile := newFakeTile()
 	tile.host = true
-	if src, chained := pick(t, sel, tile, 0, topo, &d); chained || src != topology.Host {
+	if src, chained := pick(t, sel, tile, 0, topo, c); chained || src != topology.Host {
 		t.Fatalf("got (%d,%v), want host fallback", src, chained)
 	}
 	// The only in-flight destination is the requester itself: still a miss.
 	tile.inflight = []topology.DeviceID{2}
-	if src, chained := pick(t, sel, tile, 2, topo, &d); chained || src != topology.Host {
+	if src, chained := pick(t, sel, tile, 2, topo, c); chained || src != topology.Host {
 		t.Fatalf("got (%d,%v), want host fallback (cannot chain onto self)", src, chained)
 	}
-	if d.ChainsTaken != 0 || d.ChainsMissed != 2 {
+	if d := c.Snapshot(); d.ChainsTaken != 0 || d.ChainsMissed != 2 {
 		t.Fatalf("counters = taken %d missed %d, want 0/2", d.ChainsTaken, d.ChainsMissed)
 	}
 }
@@ -180,16 +181,22 @@ func TestSelectSourceDirtyAndForcedChainFallbacks(t *testing.T) {
 
 func TestCountTransferClassifiesLinks(t *testing.T) {
 	topo := topology.DGX1()
-	var d Decisions
-	d.CountTransfer(topo, topology.Host, 0)
-	d.CountTransfer(topo, 3, 0) // 2xNVLink on the hybrid cube-mesh
-	d.CountTransfer(topo, 1, 0) // 1xNVLink
-	d.CountTransfer(topo, 5, 3) // no NVLink: PCIe P2P
+	c := NewCounters(metrics.NewRegistry())
+	c.CountTransfer(topo, topology.Host, 0)
+	c.CountTransfer(topo, 3, 0) // 2xNVLink on the hybrid cube-mesh
+	c.CountTransfer(topo, 1, 0) // 1xNVLink
+	c.CountTransfer(topo, 5, 3) // no NVLink: PCIe P2P
+	d := c.Snapshot()
 	if d.SrcHost != 1 || d.SrcNVLink2 != 1 || d.SrcNVLink1 != 1 || d.SrcPCIeP2P != 1 {
 		t.Fatalf("counters = %+v, want one of each class", d)
 	}
 	if d.Transfers() != 4 {
 		t.Fatalf("Transfers() = %d, want 4", d.Transfers())
+	}
+	// A nil counter set must be accepted everywhere and count nothing.
+	(*Counters)(nil).CountTransfer(topo, 3, 0)
+	if s := (*Counters)(nil).Snapshot(); s != (Decisions{}) {
+		t.Fatalf("nil Counters snapshot = %+v, want zero", s)
 	}
 }
 

@@ -22,13 +22,15 @@ type FairServer struct {
 	lastUpd   Time
 	wakeToken uint64
 
-	// Statistics.
-	done     uint64
-	busyTime Time
+	// Statistics. Served/Units accrue at job completion; Busy accrues in
+	// advance() as active service time, which is delivered work by
+	// construction (see ResourceStats).
+	stats ResourceStats
 }
 
 type fairJob struct {
 	remaining float64 // units left
+	size      float64 // original job size, credited to Units on completion
 	startAt   Time
 	done      func(start, end Time)
 }
@@ -62,10 +64,15 @@ func (s *FairServer) Submit(size float64, overhead Time, done func(start, end Ti
 	s.advance()
 	j := &fairJob{
 		remaining: size + float64(overhead)*s.rate, // fold overhead into units
+		size:      size,
 		startAt:   s.eng.Now(),
 		done:      done,
 	}
 	s.jobs[j] = struct{}{}
+	s.stats.Submitted++
+	if len(s.jobs) > s.stats.QueueMax {
+		s.stats.QueueMax = len(s.jobs)
+	}
 	s.reschedule()
 }
 
@@ -88,7 +95,7 @@ func (s *FairServer) advance() {
 		return
 	}
 	if dt > 0 {
-		s.busyTime += dt
+		s.stats.Busy += dt
 		share := float64(dt) * s.rate / float64(len(s.jobs))
 		for j := range s.jobs {
 			j.remaining -= share
@@ -104,7 +111,8 @@ func (s *FairServer) advance() {
 	sortJobs(finished)
 	for _, j := range finished {
 		delete(s.jobs, j)
-		s.done++
+		s.stats.Served++
+		s.stats.Units += j.size
 		if j.done != nil {
 			j.done(j.startAt, now)
 		}
@@ -158,8 +166,8 @@ func (s *FairServer) ServiceTime(size float64, overhead Time) Time {
 // since processor sharing always admits (Resource).
 func (s *FairServer) AvailableAt() Time { return s.eng.Now() }
 
-// Stats reports completed jobs and accumulated busy time.
-func (s *FairServer) Stats() (jobs uint64, busy Time) { return s.done, s.busyTime }
+// Stats reports the utilization counters accumulated so far (Resource).
+func (s *FairServer) Stats() ResourceStats { return s.stats }
 
 // Active reports the number of in-flight jobs.
 func (s *FairServer) Active() int { return len(s.jobs) }

@@ -63,12 +63,18 @@ func TestFairServerUnequalJobs(t *testing.T) {
 	if math.Abs(float64(big-4)) > 1e-6 {
 		t.Fatalf("big end = %v, want 4", big)
 	}
-	jobs, busy := s.Stats()
-	if jobs != 2 {
-		t.Fatalf("jobs = %d", jobs)
+	st := s.Stats()
+	if st.Submitted != 2 || st.Served != 2 {
+		t.Fatalf("stats = %+v, want 2 submitted and served", st)
 	}
-	if math.Abs(float64(busy-4)) > 1e-6 {
-		t.Fatalf("busy = %v, want 4", busy)
+	if math.Abs(st.Units-400) > 1e-6 {
+		t.Fatalf("units = %g, want 400", st.Units)
+	}
+	if math.Abs(float64(st.Busy-4)) > 1e-6 {
+		t.Fatalf("busy = %v, want 4", st.Busy)
+	}
+	if st.QueueMax != 2 {
+		t.Fatalf("queue high-water = %d, want 2", st.QueueMax)
 	}
 }
 

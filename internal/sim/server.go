@@ -4,7 +4,8 @@ import "fmt"
 
 // Resource is the common surface of the contended-resource models (FIFO
 // Server and processor-sharing FairServer): transfers submit jobs, cost
-// models ask for unloaded service times and congestion hints.
+// models ask for unloaded service times and congestion hints, the metrics
+// layer reads unified utilization statistics.
 type Resource interface {
 	Name() string
 	Rate() float64
@@ -14,6 +15,32 @@ type Resource interface {
 	// AvailableAt reports the earliest instant a new job could start
 	// service (now, for sharing models).
 	AvailableAt() Time
+	// Stats reports the utilization counters accumulated so far.
+	Stats() ResourceStats
+}
+
+// ResourceStats is the unified utilization report of every resource model.
+// Served/Units/Busy cover *delivered* service only: when the engine aborts
+// mid-run (Engine.Stop, Runtime.Cancel), jobs still in the queue appear in
+// Submitted but never in the served-work counters. For the FIFO Server,
+// Busy is the sum of completed service intervals; for the processor-sharing
+// FairServer it is the exact time the resource had at least one job in
+// service (service is continuous, so all time spent is delivered work even
+// if a job's completion never fires).
+type ResourceStats struct {
+	// Submitted counts jobs accepted, including ones still queued or lost
+	// to an aborted engine.
+	Submitted uint64
+	// Served counts jobs whose service completed.
+	Served uint64
+	// Units is the total size delivered by served jobs (bytes for links,
+	// effective flops for kernel streams).
+	Units float64
+	// Busy is the delivered service time (see above for per-model detail).
+	Busy Time
+	// QueueMax is the high-water mark of concurrently pending jobs
+	// (queued + in service).
+	QueueMax int
 }
 
 // Server models a serial FIFO resource with a fixed service rate: a
@@ -30,10 +57,11 @@ type Server struct {
 
 	busyUntil Time
 
-	// Statistics.
-	jobs     uint64
-	units    float64
-	busyTime Time
+	// Statistics. Served-work counters (Served, Units, Busy) accrue in the
+	// completion event, never at submission: a job drained by an engine
+	// abort must not be credited as utilization.
+	stats   ResourceStats
+	pending int
 }
 
 // NewServer creates a FIFO server with the given service rate in units per
@@ -64,12 +92,24 @@ func (s *Server) Submit(size float64, overhead Time, done func(start, end Time))
 	}
 	end := start + overhead + Time(size/s.rate)
 	s.busyUntil = end
-	s.jobs++
-	s.units += size
-	s.busyTime += end - start
-	if done != nil {
-		s.eng.At(end, func() { done(start, end) })
+	s.stats.Submitted++
+	s.pending++
+	if s.pending > s.stats.QueueMax {
+		s.stats.QueueMax = s.pending
 	}
+	// The completion event is always scheduled (even with a nil done):
+	// served-work accounting belongs to service completion. An aborted
+	// engine drops the event, and with it the utilization credit — queued
+	// jobs that never ran used to inflate busy time here.
+	s.eng.At(end, func() {
+		s.pending--
+		s.stats.Served++
+		s.stats.Units += size
+		s.stats.Busy += end - start
+		if done != nil {
+			done(start, end)
+		}
+	})
 }
 
 // ServiceTime reports how long a job of the given size would occupy the
@@ -86,11 +126,8 @@ func (s *Server) AvailableAt() Time {
 	return s.busyUntil
 }
 
-// Stats reports the number of jobs served (or queued), total units and total
-// busy time accumulated so far.
-func (s *Server) Stats() (jobs uint64, units float64, busy Time) {
-	return s.jobs, s.units, s.busyTime
-}
+// Stats reports the utilization counters accumulated so far (Resource).
+func (s *Server) Stats() ResourceStats { return s.stats }
 
 // Transfer occupies every server in path with the same job and fires done
 // once all of them have finished. It models a transfer that crosses several

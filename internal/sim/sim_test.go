@@ -135,9 +135,12 @@ func TestServerFIFOAndRate(t *testing.T) {
 	if len(ends) != 2 {
 		t.Fatalf("completions = %d, want 2", len(ends))
 	}
-	jobs, units, busy := s.Stats()
-	if jobs != 2 || units != 300 || busy != 3 {
-		t.Fatalf("stats = (%d,%g,%v), want (2,300,3)", jobs, units, busy)
+	st := s.Stats()
+	if st.Submitted != 2 || st.Served != 2 || st.Units != 300 || st.Busy != 3 {
+		t.Fatalf("stats = %+v, want 2 submitted/served, 300 units, 3s busy", st)
+	}
+	if st.QueueMax != 2 {
+		t.Fatalf("queue high-water = %d, want 2 (second job queued behind the first)", st.QueueMax)
 	}
 }
 

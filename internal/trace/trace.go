@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"xkblas/internal/cache"
+	"xkblas/internal/metrics"
 	"xkblas/internal/policy"
 	"xkblas/internal/sim"
 	"xkblas/internal/topology"
@@ -136,6 +137,39 @@ func (r *Recorder) PerGPUByKind(numGPUs int) []map[OpKind]sim.Time {
 		}
 	}
 	return out
+}
+
+// metricName is the OpKind's metric-name segment.
+func (k OpKind) metricName() string {
+	switch k {
+	case OpKernel:
+		return "kernel"
+	case OpHtoD:
+		return "h2d"
+	case OpDtoH:
+		return "d2h"
+	case OpPtoP:
+		return "p2p"
+	default:
+		return "unknown"
+	}
+}
+
+// PublishMetrics stores the per-GPU busy time by operation category into reg
+// as "trace.gpu<d>.<kind>.busy_seconds" gauges (the Fig. 7 breakdown on the
+// metrics surface). Set keeps publication idempotent; nil registry is a
+// no-op.
+func (r *Recorder) PublishMetrics(reg *metrics.Registry, numGPUs int) {
+	if reg == nil {
+		return
+	}
+	per := r.PerGPUByKind(numGPUs)
+	for d, byKind := range per {
+		for _, k := range Kinds() {
+			name := fmt.Sprintf("trace.gpu%d.%s.busy_seconds", d, k.metricName())
+			reg.Gauge(name).Set(float64(byKind[k]))
+		}
+	}
 }
 
 // Span reports the [min start, max end] of all events.

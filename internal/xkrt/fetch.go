@@ -13,10 +13,12 @@ import (
 // pendingFetch; the kernel launches once every input has arrived.
 func (rt *Runtime) fetchInput(t *Task, tile *cache.Tile, dev topology.DeviceID) {
 	if tile.ValidOn(dev) {
+		rt.Cache.NoteHit()
 		rt.Cache.Pin(tile, dev)
 		rt.Cache.Touch(tile, dev)
 		return
 	}
+	rt.Cache.NoteMiss()
 	t.pendingFetch++
 	rt.requestReplica(tile, dev, func() {
 		rt.Cache.Pin(tile, dev)
@@ -38,6 +40,7 @@ func (rt *Runtime) requestReplica(tile *cache.Tile, dev topology.DeviceID, arriv
 	if tile.InflightTo(dev) {
 		// Another consumer on this device already requested the tile:
 		// piggyback, never duplicate a transfer.
+		rt.Cache.NoteInflightWait()
 		tile.AddInflightWaiter(dev, func(err error) {
 			if err != nil {
 				rt.fail(err)
@@ -55,7 +58,7 @@ func (rt *Runtime) requestReplica(tile *cache.Tile, dev topology.DeviceID, arriv
 // policy.SelectSource). The returned chained flag means "src is an
 // in-flight destination to wait on", not a valid holder.
 func (rt *Runtime) selectSource(tile *cache.Tile, dst topology.DeviceID) (topology.DeviceID, bool) {
-	src, chained, ok := policy.SelectSource(rt.pol.Source, rt.Plat.Topo, tile, dst, &rt.decisions)
+	src, chained, ok := policy.SelectSource(rt.pol.Source, rt.Plat.Topo, tile, dst, rt.counters)
 	if !ok {
 		panic(fmt.Sprintf("xkrt: tile %v has no valid copy anywhere", tile.Key))
 	}
@@ -73,7 +76,7 @@ func (rt *Runtime) issueFetch(tile *cache.Tile, src topology.DeviceID, dst topol
 		} else {
 			rt.stats.PeerSources++
 		}
-		rt.decisions.CountTransfer(rt.Plat.Topo, src, dst)
+		rt.counters.CountTransfer(rt.Plat.Topo, src, dst)
 		if err := rt.Cache.StartTransfer(tile, src, dst, done); err != nil {
 			if errors.Is(err, cache.ErrDeviceOOM) {
 				rt.fail(fmt.Errorf("xkrt: fetch of %v to GPU %d: %w", tile.Key, dst, err))
@@ -135,7 +138,7 @@ func (rt *Runtime) armChainHop(tile *cache.Tile, src, dst topology.DeviceID, don
 		} else {
 			rt.stats.PeerSources++
 		}
-		rt.decisions.CountTransfer(rt.Plat.Topo, src, dst)
+		rt.counters.CountTransfer(rt.Plat.Topo, src, dst)
 		if err := rt.Cache.StartTransfer(tile, src, dst, done); err != nil {
 			if errors.Is(err, cache.ErrDeviceOOM) {
 				ferr := fmt.Errorf("xkrt: chained hop of %v to GPU %d: %w", tile.Key, dst, err)

@@ -5,8 +5,10 @@ import (
 	"testing"
 
 	"xkblas/internal/blasops"
+	"xkblas/internal/cache"
 	"xkblas/internal/device"
 	"xkblas/internal/matrix"
+	"xkblas/internal/metrics"
 	"xkblas/internal/policy"
 	"xkblas/internal/sim"
 	"xkblas/internal/topology"
@@ -103,5 +105,66 @@ func TestDecisionCountersEndToEnd(t *testing.T) {
 	_, dOff := run(Options{TopoAware: true, Optimistic: false, Window: 4})
 	if dOff.ChainsTaken != 0 || dOff.ChainsMissed != 0 {
 		t.Fatalf("non-optimistic runtime counted chains: %+v", dOff)
+	}
+}
+
+// TestRuntimeMetricsCollection drives a small GEMM graph and checks the
+// metrics surface end to end: the ready-queue/stall statistics accrue, the
+// cache hit/miss counters fire, CollectMetrics is idempotent, and two
+// identical runs snapshot byte-equal.
+func TestRuntimeMetricsCollection(t *testing.T) {
+	run := func() (RuntimeStats, cache.Stats, metrics.Snapshot) {
+		rt := newRuntime(false, Options{TopoAware: true, Optimistic: true, Window: 4})
+		n, nb := 128, 16
+		A := rt.Register(matrix.NewShape(n, n), nb)
+		B := rt.Register(matrix.NewShape(n, n), nb)
+		C := rt.Register(matrix.NewShape(n, n), nb)
+		nt := A.Rows()
+		for i := 0; i < nt; i++ {
+			for j := 0; j < nt; j++ {
+				for k := 0; k < nt; k++ {
+					spec := KernelSpec{Routine: blasops.Gemm, M: nb, N: nb, K: nb,
+						Flops: 2 * float64(nb) * float64(nb) * float64(nb)}
+					rt.Submit("gemm", spec, 0, R(A.Tile(i, k)), R(B.Tile(k, j)), RW(C.Tile(i, j)))
+				}
+			}
+		}
+		rt.Barrier()
+		snap := rt.CollectMetrics()
+		if again := rt.CollectMetrics(); !snap.Equal(again) {
+			t.Fatal("CollectMetrics is not idempotent")
+		}
+		return rt.Stats(), rt.Cache.Stats(), snap
+	}
+
+	stats, cs, snap := run()
+	if stats.ReadyQueueMax <= 0 {
+		t.Fatal("ready-queue high-water never moved")
+	}
+	if stats.StallTime <= 0 {
+		t.Fatal("a window-limited run must accrue stall time")
+	}
+	if cs.Hits == 0 || cs.Misses == 0 {
+		t.Fatalf("cache hit/miss counters = %d/%d, want both > 0 (reused and first-touch tiles)", cs.Hits, cs.Misses)
+	}
+	for _, name := range []string{
+		"rt.ready_queue_max", "rt.stall_time_seconds", "rt.tasks_run",
+		"rt.stall_seconds.count", "cache.hits", "cache.misses",
+		"policy.sched.owner_hits", "class.kernel.flops",
+	} {
+		if _, ok := snap.Get(name); !ok {
+			t.Errorf("snapshot is missing %q", name)
+		}
+	}
+	if s, _ := snap.Get("rt.stall_seconds.count"); s.Int != stats.TasksRun {
+		t.Errorf("stall histogram count = %d, want one observation per task (%d)", s.Int, stats.TasksRun)
+	}
+	if s, _ := snap.Get("cache.hits"); s.Int != cs.Hits {
+		t.Errorf("published cache.hits %d != stats %d", s.Int, cs.Hits)
+	}
+
+	_, _, snap2 := run()
+	if !snap.Equal(snap2) {
+		t.Fatal("identical runs produced different metrics snapshots")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"xkblas/internal/cache"
 	"xkblas/internal/check"
 	"xkblas/internal/device"
+	"xkblas/internal/metrics"
 	"xkblas/internal/policy"
 	"xkblas/internal/sim"
 	"xkblas/internal/topology"
@@ -178,8 +179,18 @@ type Runtime struct {
 	pending int // submitted but not completed tasks
 	ownerRR int // round-robin fallback for unowned written tiles
 
-	pol       policy.Bundle
-	decisions policy.Decisions
+	pol policy.Bundle
+
+	// reg is the run's private metrics registry. It always exists — the
+	// policy decision counters live on it and must count even when the
+	// caller never collects metrics (xkbench -decisions works without
+	// -metrics) — and it is single-writer: every Add happens on the engine
+	// goroutine, so counts are deterministic.
+	reg       *metrics.Registry
+	counters  *policy.Counters
+	stallHist *metrics.Histogram
+
+	readyCount int // compute tasks currently in ready queues
 
 	// audit is the attached coherence auditor (nil unless -check); runErr
 	// records the first unrecoverable run failure (device OOM or
@@ -210,6 +221,13 @@ type RuntimeStats struct {
 	ChainedHops   int64 // optimistic forwards
 	HostFallbacks int64 // transfers sourced from host
 	PeerSources   int64 // transfers sourced from a GPU replica
+
+	// ReadyQueueMax is the high-water mark of compute tasks sitting in
+	// ready queues, and StallTime the total virtual time tasks spent there
+	// between becoming ready and starting operand staging. Together they
+	// say whether a configuration is starved for work or for devices.
+	ReadyQueueMax int
+	StallTime     sim.Time
 }
 
 // New builds a runtime over an existing engine/platform with a fresh cache.
@@ -235,10 +253,18 @@ func New(eng *sim.Engine, plat *device.Platform, functional bool, opt Options) *
 		window:     make([]int, n),
 		estLoad:    make([]sim.Time, n),
 	}
+	rt.reg = metrics.NewRegistry()
+	rt.counters = policy.NewCounters(rt.reg)
+	rt.stallHist = rt.reg.Histogram("rt.stall_seconds", StallBuckets)
 	rt.Cache.Evictor = rt.pol.Evictor
-	rt.Cache.Decisions = &rt.decisions
+	rt.Cache.Counters = rt.counters
 	return rt
 }
+
+// StallBuckets are the fixed histogram bounds (seconds of virtual time) for
+// task ready-queue stalls. Fixed bounds keep the exported snapshot shape
+// identical across runs and sweep points.
+var StallBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}
 
 // defaultGrid factors n into the most square P×Q grid with P ≥ Q; 8 GPUs
 // give the paper's (4,2).
@@ -275,9 +301,29 @@ func (rt *Runtime) fail(err error) {
 // Stats returns a copy of the runtime counters.
 func (rt *Runtime) Stats() RuntimeStats { return rt.stats }
 
-// Decisions returns a copy of the policy-decision counters accumulated so
-// far (including the cache's eviction decisions).
-func (rt *Runtime) Decisions() policy.Decisions { return rt.decisions }
+// Decisions returns a snapshot of the policy-decision counters accumulated
+// so far (including the cache's eviction decisions).
+func (rt *Runtime) Decisions() policy.Decisions { return rt.counters.Snapshot() }
+
+// Registry exposes the run's private metrics registry.
+func (rt *Runtime) Registry() *metrics.Registry { return rt.reg }
+
+// CollectMetrics publishes the platform's resource utilization, the cache
+// traffic counters and the runtime's scheduler statistics into the run's
+// registry and returns a deterministic snapshot. Publication uses
+// Store/Set, so collecting twice is idempotent.
+func (rt *Runtime) CollectMetrics() metrics.Snapshot {
+	rt.Plat.PublishMetrics(rt.reg)
+	rt.Cache.PublishMetrics(rt.reg)
+	rt.reg.Counter("rt.tasks_run").Store(rt.stats.TasksRun)
+	rt.reg.Counter("rt.steals").Store(rt.stats.Steals)
+	rt.reg.Counter("rt.chained_hops").Store(rt.stats.ChainedHops)
+	rt.reg.Counter("rt.host_fallbacks").Store(rt.stats.HostFallbacks)
+	rt.reg.Counter("rt.peer_sources").Store(rt.stats.PeerSources)
+	rt.reg.Gauge("rt.ready_queue_max").Set(float64(rt.stats.ReadyQueueMax))
+	rt.reg.Gauge("rt.stall_time_seconds").Set(float64(rt.stats.StallTime))
+	return rt.reg.Snapshot()
+}
 
 // Policy returns the active policy bundle.
 func (rt *Runtime) Policy() policy.Bundle { return rt.pol }

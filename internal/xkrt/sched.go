@@ -34,6 +34,11 @@ func (rt *Runtime) enqueueReady(t *Task) {
 	} else {
 		rt.queues[dev] = append(rt.queues[dev], t)
 	}
+	t.readyAt = rt.Eng.Now()
+	rt.readyCount++
+	if rt.readyCount > rt.stats.ReadyQueueMax {
+		rt.stats.ReadyQueueMax = rt.readyCount
+	}
 	rt.pumpAll()
 }
 
@@ -84,7 +89,8 @@ func (rt *Runtime) popTask(dev topology.DeviceID) *Task {
 		if rt.pol.Scheduler.Sorted() {
 			rt.estLoad[dev] -= t.estExec
 		}
-		rt.decisions.OwnerHits++
+		rt.readyCount--
+		rt.counters.OwnerHits.Add(1)
 		return t
 	}
 	victim, idx, ok := rt.pol.Scheduler.Steal(dev, schedState{rt})
@@ -94,8 +100,9 @@ func (rt *Runtime) popTask(dev topology.DeviceID) *Task {
 	vq := rt.queues[victim]
 	t := vq[idx]
 	rt.queues[victim] = append(vq[:idx:idx], vq[idx+1:]...)
+	rt.readyCount--
 	rt.stats.Steals++
-	rt.decisions.Steals++
+	rt.counters.Steals.Add(1)
 	return t
 }
 
@@ -103,6 +110,9 @@ func (rt *Runtime) popTask(dev topology.DeviceID) *Task {
 func (rt *Runtime) startTask(dev topology.DeviceID, t *Task) {
 	t.dev = dev
 	t.state = stateFetching
+	stall := rt.Eng.Now() - t.readyAt
+	rt.stats.StallTime += stall
+	rt.stallHist.Observe(float64(stall))
 	rt.window[dev]++
 	t.pendingFetch = 1 // guard against synchronous completion
 	for i := range t.acc {

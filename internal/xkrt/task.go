@@ -110,6 +110,7 @@ type Task struct {
 	state        taskState
 	pendingFetch int
 	estExec      sim.Time // DMDAS bookkeeping
+	readyAt      sim.Time // instant the task entered a ready queue
 }
 
 // ID reports the task's submission index.
