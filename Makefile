@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-cancel metrics-race stress check bench verify experiments experiments-quick examples fmt fmtcheck vet clean
+.PHONY: all build test race race-cancel metrics-race stress check bench bench-alloc bench-bigN verify experiments experiments-quick examples fmt fmtcheck vet clean
 
 all: check
 
@@ -40,12 +40,26 @@ stress:
 	$(GO) test -count=1 -run 'TestCacheCoherenceFuzz|TestCancelInflight' ./internal/cache/
 	$(GO) test -count=1 ./internal/check/
 
-# Default verification gate: build, vet, formatting, tests, stress, race pass.
-check: build vet fmtcheck test stress race race-cancel metrics-race
+# Default verification gate: build, vet, formatting, tests, stress, race,
+# and the steady-state allocation budget.
+check: build vet fmtcheck test stress race race-cancel metrics-race bench-alloc
 
 # One testing.B benchmark per paper table/figure plus the ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Task-layer allocation gate: the steady-state submit/run/retire path must
+# stay within its per-wave allocation budget (the arena contract behind
+# million-task runs), then report the allocs/op benchmarks.
+bench-alloc:
+	$(GO) test -count=1 -run TestSubmitSteadyStateAllocBudget ./internal/xkrt/
+	$(GO) test -run '^$$' -bench 'BenchmarkSubmitComplete|BenchmarkDAGBuild' -benchmem ./internal/xkrt/
+
+# Beyond-paper-scale demonstration: 1.4M-task GEMM (N=229376) streamed
+# through a bounded admission window with interleaved coherency, plus the
+# two configurations that hit the task- and device-memory walls (~40 s).
+bench-bigN:
+	$(GO) run ./cmd/xkbench -exp bign
 
 # Randomized functional verification of all nine routines.
 verify:

@@ -48,7 +48,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1,fig2,fig3,table2,fig4,fig5,fig6,fig7,fig8,fig9,scale,summit,hermitian,pinning,factor,sweep,all")
+	exp := flag.String("exp", "all", "experiment: table1,fig2,fig3,table2,fig4,fig5,fig6,fig7,fig8,fig9,scale,summit,hermitian,pinning,factor,bign,sweep,all")
 	quick := flag.Bool("quick", false, "reduced sizes and repetitions")
 	csvPath := flag.String("csv", "", "write sweep points as CSV to this path (sweep experiments only)")
 	libsFlag := flag.String("libs", "", "custom sweep (-exp sweep): comma-separated library names; empty = Fig. 5 roster")
@@ -70,8 +70,18 @@ func main() {
 		"collect per-run utilization metrics (resource occupancy, link-class traffic, cache and scheduler counters); prints a per-point rollup table and, with -csv out.csv, writes the full snapshots to out.metrics.json")
 	serve := flag.String("serve", "",
 		"listen address (e.g. :9090) for a live Prometheus /metrics endpoint aggregating all runs, plus net/http/pprof under /debug/pprof/; implies -metrics")
+	window := flag.Int("window", 0,
+		"stream every run's task DAG through a bounded admission window of this many live tasks instead of materializing it whole (0 = whole graph); results are bit-identical at any window mode, only peak memory changes")
+	streamWhole := flag.Bool("stream-whole", false,
+		"with -window, materialize the whole DAG up front and apply the window during execution — the reference mode streamed runs are parity-tested against")
 	flag.Parse()
 
+	if *window < 0 {
+		fmt.Fprintf(os.Stderr, "xkbench: -window must be >= 0, got %d\n", *window)
+		os.Exit(2)
+	}
+	bench.ForceStreamWindow = *window
+	bench.ForceStreamWhole = *streamWhole
 	bench.DefaultParallelism = *parallel
 	bench.CheckRuns = *checkFlag
 	if *serve != "" {
@@ -99,6 +109,7 @@ func main() {
 
 	w := os.Stdout
 	var points []bench.Point
+	exitErr := false
 	run := func(name string) {
 		switch name {
 		case "table1":
@@ -131,6 +142,12 @@ func main() {
 			bench.PinningCost(w, *quick)
 		case "factor":
 			bench.Factorizations(w, *quick)
+		case "bign":
+			for _, r := range bench.BigN(w, *quick) {
+				if r.Err != nil {
+					exitErr = true
+				}
+			}
 		case "sweep":
 			pts, err := customSweep(w, *libsFlag, *routinesFlag, *sizesFlag, *tilesFlag, *runs, *dod)
 			if err != nil {
@@ -209,6 +226,9 @@ func main() {
 	if err := ctx.Err(); err != nil {
 		// All sinks above have been flushed with the completed prefix.
 		fmt.Fprintf(os.Stderr, "xkbench: run aborted: %v\n", err)
+		os.Exit(1)
+	}
+	if exitErr {
 		os.Exit(1)
 	}
 }

@@ -16,6 +16,7 @@ package baseline
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"xkblas/internal/blasops"
 	"xkblas/internal/cache"
@@ -86,6 +87,74 @@ type Request struct {
 	// Ctx (and a never-cancelled one) leaves the run bit-identical to a
 	// context-free run.
 	Ctx context.Context
+
+	// StreamWindow, when positive, bounds the number of live tasks in the
+	// runtime (xkrt.Options.StreamWindow): the DAG streams through the
+	// window instead of materializing whole. 0 keeps the historical
+	// whole-graph submission.
+	StreamWindow int
+	// StreamWhole selects the whole-graph reference mode of the admission
+	// window (xkrt.Options.StreamWhole); parity tests compare a streamed
+	// run against it. Ignored when StreamWindow is 0.
+	StreamWhole bool
+
+	// Handles, when non-nil, recycles library contexts across runs instead
+	// of rebuilding engine, platform, runtime and every pool per
+	// repetition. A pool must only be shared by requests that agree on
+	// platform, links, options, scenario-independent policy and memory
+	// reservation — the bench harness uses one pool per measured point
+	// (single library), which satisfies this. A recycled handle is Reset()
+	// to its freshly built state and reproduces a fresh run bit for bit.
+	Handles *HandlePool
+}
+
+// HandlePool recycles library contexts: Acquire returns a reset pooled
+// handle (nil when empty or when the request cannot reuse one), Release
+// returns a handle whose run completed cleanly. It is safe for concurrent
+// use by the parallel sweep workers; because a reset handle is
+// bit-identical to a fresh one, the nondeterministic pairing of handles to
+// runs never shows in results.
+type HandlePool struct {
+	mu   sync.Mutex
+	free []*core.Handle
+}
+
+// NewHandlePool returns an empty pool.
+func NewHandlePool() *HandlePool { return &HandlePool{} }
+
+// acquire pops and resets a pooled handle for the request, retargeting its
+// tile size. Check runs never reuse: the coherence auditor is attached at
+// build time and its observation must span a context's whole lifetime.
+func (p *HandlePool) acquire(req Request) *core.Handle {
+	if p == nil || req.Check {
+		return nil
+	}
+	p.mu.Lock()
+	var h *core.Handle
+	if n := len(p.free); n > 0 {
+		h = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	}
+	p.mu.Unlock()
+	if h == nil {
+		return nil
+	}
+	h.Reset()
+	h.NB = req.NB
+	return h
+}
+
+// Release offers a handle back to the pool. Failed or cancelled runs drop
+// their handle (nil error only), as do Check runs; a nil pool ignores the
+// call.
+func (p *HandlePool) Release(h *core.Handle, req Request, err error) {
+	if p == nil || h == nil || err != nil || req.Check {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, h)
+	p.mu.Unlock()
 }
 
 // canceled reports the request's context error (nil for a nil or live
@@ -138,17 +207,30 @@ type Composer interface {
 	RunComposition(req Request) Result
 }
 
-// newHandle builds a fresh timing-mode library context for one request.
-func newHandle(req Request, opts xkrt.Options) *core.Handle {
-	plat := req.Platform
-	if plat == nil {
-		plat = topology.DGX1()
+// newHandle builds a timing-mode library context for one request, reusing
+// a pooled one when the request carries a HandlePool. fresh reports whether
+// the handle was built rather than recycled — one-time shaping such as a
+// memory reservation applies only then (it survives Reset). Kernel noise is
+// run-scoped state Reset does not touch, so recycled handles always pass
+// through EnableNoise: a zero amplitude disarms jitter left by an earlier
+// repetition.
+func newHandle(req Request, opts xkrt.Options) (h *core.Handle, fresh bool) {
+	if req.StreamWindow > 0 {
+		opts.StreamWindow = req.StreamWindow
+		opts.StreamWhole = req.StreamWhole
 	}
-	h := core.NewHandle(core.Config{Platform: plat, TileSize: req.NB, Options: opts, Links: req.Links, Check: req.Check})
-	if req.NoiseAmp > 0 {
+	if h = req.Handles.acquire(req); h == nil {
+		plat := req.Platform
+		if plat == nil {
+			plat = topology.DGX1()
+		}
+		h = core.NewHandle(core.Config{Platform: plat, TileSize: req.NB, Options: opts, Links: req.Links, Check: req.Check})
+		fresh = true
+	}
+	if req.NoiseAmp > 0 || !fresh {
 		h.Plat.Model.EnableNoise(req.NoiseAmp, req.NoiseSeed)
 	}
-	return h
+	return h, fresh
 }
 
 // armCancel connects the request's context to the handle's runtime: a
@@ -167,14 +249,19 @@ func armCancel(req Request, h *core.Handle) (release func()) {
 		return func() {}
 	}
 	stop := make(chan struct{})
+	exited := make(chan struct{})
 	go func() {
+		defer close(exited)
 		select {
 		case <-ctx.Done():
 			h.RT.Cancel(ctx.Err())
 		case <-stop:
 		}
 	}()
-	return func() { close(stop) }
+	// Waiting for the watchdog (not merely signalling it) guarantees the
+	// handle is untouched after release returns — a must once handles are
+	// pooled and the next run may pick this one up.
+	return func() { close(stop); <-exited }
 }
 
 // attachTrace wires a recorder into the handle when requested.
@@ -321,10 +408,12 @@ func (l *StdLib) Supports(r blasops.Routine) bool {
 	return false
 }
 
-// prepare builds the handle with the policy applied.
+// prepare builds the handle with the policy applied. The memory
+// reservation shrinks pool capacity, which Reset preserves, so it applies
+// to fresh handles only — a recycled one already carries it.
 func (l *StdLib) prepare(req Request) (*core.Handle, *trace.Recorder) {
-	h := newHandle(req, l.Opts)
-	if l.MemReserve > 0 {
+	h, fresh := newHandle(req, l.Opts)
+	if fresh && l.MemReserve > 0 {
 		for _, g := range h.Plat.GPUs {
 			keep := int64(float64(g.Mem.Capacity()) * (1 - l.MemReserve))
 			g.Mem = device.NewMemPool(keep)
@@ -343,6 +432,7 @@ func (l *StdLib) Run(req Request) Result {
 	}
 	h, rec := l.prepare(req)
 	res := runStandard(h, req, rec)
+	req.Handles.Release(h, req, res.Err)
 	if l.ConvertGBs > 0 {
 		res = l.addConversionCost(req, res)
 	}
@@ -374,6 +464,7 @@ func (l *StdLib) RunComposition(req Request) (res Result) {
 		return Result{Err: &xkrt.CanceledError{Cause: err}}
 	}
 	h, rec := l.prepare(req)
+	defer func() { req.Handles.Release(h, req, res.Err) }()
 	defer func() {
 		if r := recover(); r != nil {
 			res = Result{Err: fmt.Errorf("baseline: %v", r), Rec: rec}

@@ -34,7 +34,7 @@ func (l cublasMGLib) Run(req Request) (res Result) {
 	}
 	// Peer transfers between the block-cyclic homes use NVLink when
 	// available but without topology ranking or forwarding heuristics.
-	h := newHandle(req, xkrt.Options{
+	h, _ := newHandle(req, xkrt.Options{
 		Window: 3,
 		Policy: &policy.Bundle{
 			Source:    policy.LowestID{},
@@ -43,6 +43,7 @@ func (l cublasMGLib) Run(req Request) (res Result) {
 		},
 	})
 	rec := attachTrace(h, req)
+	defer func() { req.Handles.Release(h, req, res.Err) }()
 	defer func() {
 		if r := recover(); r != nil {
 			res = Result{Err: fmt.Errorf("cublas-mg: %v", r), Rec: rec}

@@ -1,0 +1,96 @@
+package baseline
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"xkblas/internal/blasops"
+	"xkblas/internal/core"
+)
+
+// poolResult strips a Result to its comparable observables (the recorder
+// pointer differs per run by construction).
+func poolResult(r Result) interface{} {
+	if r.Err != nil {
+		return r.Err.Error()
+	}
+	return struct {
+		A, B, C, D interface{}
+	}{r.Elapsed, r.GFlops, r.Cache, r.Decisions}
+}
+
+// TestHandlePoolRunsBitIdentical: a run on a recycled context must be byte-
+// identical to a run on a fresh one — the contract that lets the bench
+// harness reuse one engine/platform/runtime across every repetition and
+// tile candidate of a point. Exercised across tile-size changes (the pool
+// retargets NB), noise re-arming, both scenarios, and libraries with a
+// memory reservation (BLASX) and a custom driver (Slate).
+func TestHandlePoolRunsBitIdentical(t *testing.T) {
+	libs := []Library{XKBlas(), BLASX(), Slate()}
+	for _, lib := range libs {
+		for _, scen := range []Scenario{DataOnHost, DataOnDevice} {
+			pool := NewHandlePool()
+			mkReq := func(nb int, seed int64, handles *HandlePool) Request {
+				return Request{
+					Routine: blasops.Gemm, N: 4096, NB: nb, Scenario: scen,
+					NoiseAmp: 0.02, NoiseSeed: seed, Metrics: true, Handles: handles,
+				}
+			}
+			// Warm the pool (and vary NB so the recycled handle is
+			// retargeted), then compare pooled vs fresh for each config.
+			lib.Run(mkReq(2048, 1, pool))
+			lib.Run(mkReq(1024, 2, pool))
+			for _, nb := range []int{1024, 2048} {
+				pooled := lib.Run(mkReq(nb, 7, pool))
+				fresh := lib.Run(mkReq(nb, 7, nil))
+				if pooled.Err != nil {
+					t.Fatalf("%s %v nb=%d: pooled run failed: %v", lib.Name(), scen, nb, pooled.Err)
+				}
+				if !reflect.DeepEqual(poolResult(pooled), poolResult(fresh)) {
+					t.Errorf("%s %v nb=%d: recycled context diverged from fresh:\npooled %+v\nfresh  %+v",
+						lib.Name(), scen, nb, poolResult(pooled), poolResult(fresh))
+				}
+				if !reflect.DeepEqual(pooled.Metrics, fresh.Metrics) {
+					t.Errorf("%s %v nb=%d: metrics snapshot diverged between recycled and fresh context",
+						lib.Name(), scen, nb)
+				}
+			}
+		}
+	}
+}
+
+// TestHandlePoolReleaseSemantics: failed runs and Check requests must
+// bypass the pool — a failed run may hold stranded tasks, and the
+// coherence auditor is attached at build time only.
+func TestHandlePoolReleaseSemantics(t *testing.T) {
+	pool := NewHandlePool()
+	h := core.NewHandle(core.Config{TileSize: 512})
+
+	pool.Release(h, Request{}, errors.New("boom"))
+	if pool.acquire(Request{NB: 512}) != nil {
+		t.Fatal("pool accepted a handle from a failed run")
+	}
+
+	pool.Release(h, Request{Check: true}, nil)
+	if pool.acquire(Request{NB: 512}) != nil {
+		t.Fatal("pool accepted a handle from a Check run")
+	}
+
+	pool.Release(h, Request{}, nil)
+	if pool.acquire(Request{NB: 512, Check: true}) != nil {
+		t.Fatal("pool served a handle to a Check request")
+	}
+	if got := pool.acquire(Request{NB: 1024}); got != h {
+		t.Fatal("pool did not serve the released handle back")
+	}
+	if got := h.NB; got != 1024 {
+		t.Fatalf("acquire did not retarget tile size: NB=%d, want 1024", got)
+	}
+
+	var nilPool *HandlePool
+	nilPool.Release(h, Request{}, nil)
+	if nilPool.acquire(Request{NB: 512}) != nil {
+		t.Fatal("nil pool should acquire nothing")
+	}
+}

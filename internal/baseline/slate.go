@@ -56,8 +56,9 @@ func (l *slateLib) Run(req Request) (res Result) {
 	if err := req.canceled(); err != nil {
 		return Result{Err: &xkrt.CanceledError{Cause: err}}
 	}
-	h := newHandle(req, slateOpts())
+	h, _ := newHandle(req, slateOpts())
 	rec := attachTrace(h, req)
+	defer func() { req.Handles.Release(h, req, res.Err) }()
 	defer func() {
 		if r := recover(); r != nil {
 			res = Result{Err: fmt.Errorf("slate: %v", r), Rec: rec}

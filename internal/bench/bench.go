@@ -89,6 +89,13 @@ type Config struct {
 	// context's error. A nil (or never-cancelled) Ctx leaves the sweep
 	// bit-identical to one without a context.
 	Ctx context.Context
+	// StreamWindow, when positive, streams every leaf run's DAG through a
+	// bounded task window (xkbench -window) instead of materializing it
+	// whole; 0 leaves runs byte-identical to the historical whole-graph
+	// submission. StreamWhole selects the whole-graph reference mode of
+	// the window (parity testing).
+	StreamWindow int
+	StreamWhole  bool
 }
 
 // CheckRuns mirrors Config.Check for the experiment drivers that build
@@ -105,6 +112,24 @@ var SweepContext context.Context
 // build their own Config internally (xkbench -exp); the -metrics flag sets
 // it process-wide.
 var MetricsEnabled bool
+
+// ForceStreamWindow mirrors Config.StreamWindow for the experiment drivers
+// that build their own Config internally (xkbench -exp); the -window flag
+// sets it process-wide. 0 (the default) forces nothing.
+var ForceStreamWindow int
+
+// ForceStreamWhole mirrors Config.StreamWhole the same way (xkbench
+// -stream-whole); it only matters when a stream window is in force.
+var ForceStreamWhole bool
+
+// streamWindow resolves a config's effective stream window and mode.
+func streamWindow(cfg Config) (win int, whole bool) {
+	win, whole = cfg.StreamWindow, cfg.StreamWhole
+	if win == 0 {
+		win = ForceStreamWindow
+	}
+	return win, whole || ForceStreamWhole
+}
 
 // GlobalMetrics, when non-nil, receives every leaf run's snapshot merged in
 // (counters summed, gauges maxed) — the live aggregate behind the xkbench
@@ -197,25 +222,31 @@ func feasibleTiles(cfg Config, lib baseline.Library, n int) []int {
 }
 
 // runRep executes one simulated repetition (rep 0 is the discarded
-// warm-up). Each call builds a private platform and sim.Engine, so
-// repetitions are independent and safe to execute concurrently.
-func runRep(cfg Config, lib baseline.Library, r blasops.Routine, n, nb, rep int) baseline.Result {
+// warm-up). Each run owns a private platform and sim.Engine — recycled
+// through the point's handle pool when one is passed, built fresh
+// otherwise — so repetitions are independent and safe to execute
+// concurrently.
+func runRep(cfg Config, pool *baseline.HandlePool, lib baseline.Library, r blasops.Routine, n, nb, rep int) baseline.Result {
 	if cfg.Ctx != nil {
 		// Cancelled sweep: skip the leaf without building a simulation.
 		if err := cfg.Ctx.Err(); err != nil {
 			return baseline.Result{Err: err}
 		}
 	}
+	win, whole := streamWindow(cfg)
 	res := lib.Run(baseline.Request{
-		Routine:   r,
-		N:         n,
-		NB:        nb,
-		Scenario:  cfg.Scenario,
-		NoiseAmp:  cfg.NoiseAmp,
-		NoiseSeed: int64(rep)*7919 + int64(n) + int64(nb),
-		Check:     cfg.Check || CheckRuns,
-		Metrics:   cfg.Metrics || MetricsEnabled,
-		Ctx:       cfg.Ctx,
+		Routine:      r,
+		N:            n,
+		NB:           nb,
+		Scenario:     cfg.Scenario,
+		NoiseAmp:     cfg.NoiseAmp,
+		NoiseSeed:    int64(rep)*7919 + int64(n) + int64(nb),
+		Check:        cfg.Check || CheckRuns,
+		Metrics:      cfg.Metrics || MetricsEnabled,
+		Ctx:          cfg.Ctx,
+		StreamWindow: win,
+		StreamWhole:  whole,
+		Handles:      pool,
 	})
 	if GlobalMetrics != nil && res.Metrics != nil {
 		GlobalMetrics.MergeSnapshot(res.Metrics)
@@ -236,13 +267,13 @@ type tileRuns struct {
 
 // measureTilesSequential reproduces the sequential per-tile inner loop:
 // warm-up then measured repetitions, stopping a tile at its first error.
-func measureTilesSequential(cfg Config, lib baseline.Library, r blasops.Routine, n int, tiles []int) []tileRuns {
+func measureTilesSequential(cfg Config, pool *baseline.HandlePool, lib baseline.Library, r blasops.Routine, n int, tiles []int) []tileRuns {
 	runs := effectiveRuns(cfg)
 	out := make([]tileRuns, len(tiles))
 	for ti, nb := range tiles {
 		tr := tileRuns{nb: nb, res: make([]baseline.Result, runs+1)}
 		for rep := 0; rep <= runs; rep++ {
-			tr.res[rep] = runRep(cfg, lib, r, n, nb, rep)
+			tr.res[rep] = runRep(cfg, pool, lib, r, n, nb, rep)
 			tr.upTo = rep + 1
 			if tr.res[rep].Err != nil {
 				break
@@ -340,17 +371,22 @@ func canceledPoint(cfg Config, lib baseline.Library, r blasops.Routine, n int) P
 }
 
 // MeasurePoint measures one (lib, routine, N) with best-tile selection.
+// Every repetition and tile candidate of the point reuses one pool of
+// library contexts (engine, platform, runtime and their arenas survive
+// across runs via Reset) instead of rebuilding them per leaf; a recycled
+// context reproduces a fresh one bit for bit, so results are unchanged.
 // With cfg.Parallel > 1 the per-tile/per-repetition simulations run on a
 // bounded worker pool; the result is bit-identical to the sequential path.
 // If cfg.Ctx is cancelled mid-measurement the point comes back with the
 // context's error instead of a partial reduction.
 func MeasurePoint(cfg Config, lib baseline.Library, r blasops.Routine, n int) Point {
 	tiles := feasibleTiles(cfg, lib, n)
+	pool := baseline.NewHandlePool()
 	var trs []tileRuns
 	if cfg.Parallel > 1 {
-		trs = measureTilesParallel(cfg, lib, r, n, tiles)
+		trs = measureTilesParallel(cfg, pool, lib, r, n, tiles)
 	} else {
-		trs = measureTilesSequential(cfg, lib, r, n, tiles)
+		trs = measureTilesSequential(cfg, pool, lib, r, n, tiles)
 	}
 	if pointCanceled(trs) {
 		return canceledPoint(cfg, lib, r, n)

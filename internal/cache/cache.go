@@ -14,7 +14,6 @@
 package cache
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 
@@ -88,13 +87,59 @@ type Observer interface {
 	OnTransfer(kind TransferKind, src, dst topology.DeviceID, bytes int64, start, end sim.Time)
 }
 
-// replica is the per-device state of one tile.
+// replica is the per-device state of one tile. Replicas come from a
+// per-cache free list and carry their own LRU linkage (an intrusive doubly
+// linked list), so replica churn performs no heap allocation once the pool
+// is warm.
 type replica struct {
 	valid bool
 	dirty bool
 	pins  int
-	buf   matrix.View   // dense device copy (functional mode only)
-	lruEl *list.Element // position in the device's LRU list
+	buf   matrix.View // dense device copy (functional mode only)
+
+	// Intrusive LRU linkage: position in the device's recency list, plus
+	// the back-references the eviction walk needs.
+	tile       *Tile
+	prev, next *replica
+}
+
+// lruList is an intrusive doubly linked recency list (front = LRU victim,
+// back = most recently used). It replaces container/list: no per-node
+// Element allocation, and nodes recycle with their replicas.
+type lruList struct {
+	head, tail *replica
+}
+
+func (l *lruList) pushBack(r *replica) {
+	r.prev, r.next = l.tail, nil
+	if l.tail != nil {
+		l.tail.next = r
+	} else {
+		l.head = r
+	}
+	l.tail = r
+}
+
+func (l *lruList) remove(r *replica) {
+	if r.prev != nil {
+		r.prev.next = r.next
+	} else {
+		l.head = r.next
+	}
+	if r.next != nil {
+		r.next.prev = r.prev
+	} else {
+		l.tail = r.prev
+	}
+	r.prev, r.next = nil, nil
+}
+
+func (l *lruList) moveToBack(r *replica) {
+	if l.tail == r {
+		return
+	}
+	l.remove(r)
+	l.pushBack(r)
 }
 
 // Inflight records a transfer (or a chained wait) whose payload is heading
@@ -129,12 +174,6 @@ type Tile struct {
 	flushWait []func()
 }
 
-// lruEntry is what LRU lists store.
-type lruEntry struct {
-	tile *Tile
-	dev  topology.DeviceID
-}
-
 // Stats aggregates cache traffic. Hits/Misses/InflightWaits are counted by
 // the runtime's fetch path through NoteHit/NoteMiss/NoteInflightWait: a hit
 // finds a valid replica already on the requesting device, a miss requires a
@@ -166,19 +205,97 @@ type Cache struct {
 	Audit *check.Auditor
 
 	nextMat MatrixID
-	lru     []*list.List // per device
+	lru     []lruList // per device
 	stats   Stats
+
+	// Arena state: every live tile is in allTiles; tileFree/repFree/infFree
+	// recycle records so steady-state registration, replica churn and
+	// transfer tracking perform no heap allocation. tilesLiveMax is the
+	// arena's high-water mark, published as cache.tiles_live_max.
+	allTiles     []*Tile
+	tileFree     []*Tile
+	repFree      []*replica
+	infFree      []*Inflight
+	tilesLiveMax int
 }
 
 // New creates a cache over a simulated platform. functional selects whether
 // tile payloads carry real data.
 func New(plat *device.Platform, functional bool) *Cache {
 	c := &Cache{Plat: plat, Functional: functional, Evictor: policy.LRUReadOnlyFirst{}}
-	for range plat.GPUs {
-		c.lru = append(c.lru, list.New())
-	}
+	c.lru = make([]lruList, len(plat.GPUs))
 	return c
 }
+
+// Reset discards every tile, replica and under-transfer record and recycles
+// them into the cache's free lists, returning the cache to its
+// freshly-built state (matrix ids restart at zero) while keeping arena
+// capacity. Every Tile pointer previously handed out becomes invalid: the
+// next registrations reuse the recycled records. Run-scoped attachments
+// (Observer, Audit) are dropped; traffic stats are cleared. The engine must
+// be quiescent and the device pools are NOT freed here — reset them through
+// Platform.Reset.
+func (c *Cache) Reset() {
+	for _, t := range c.allTiles {
+		for d, r := range t.reps {
+			delete(t.reps, d)
+			c.recycleReplica(r)
+		}
+		for d, inf := range t.inflight {
+			delete(t.inflight, d)
+			c.recycleInflight(inf)
+		}
+		t.flushWait = nil
+		t.Host = matrix.View{}
+		c.tileFree = append(c.tileFree, t)
+	}
+	c.allTiles = c.allTiles[:0]
+	for i := range c.lru {
+		c.lru[i] = lruList{}
+	}
+	c.nextMat = 0
+	c.stats = Stats{}
+	c.tilesLiveMax = 0
+	c.Observer = nil
+	c.Audit = nil
+}
+
+// recycleReplica clears a replica record and pools it. The functional-mode
+// buffer is kept: a later replica of the same tile shape reuses it.
+func (c *Cache) recycleReplica(r *replica) {
+	r.valid, r.dirty, r.pins = false, false, 0
+	r.tile, r.prev, r.next = nil, nil, nil
+	c.repFree = append(c.repFree, r)
+}
+
+// recycleInflight clears an under-transfer record and pools it. Callers
+// must have fired (or abandoned) its waiters first.
+func (c *Cache) recycleInflight(inf *Inflight) {
+	for i := range inf.waiters {
+		inf.waiters[i] = nil
+	}
+	inf.waiters = inf.waiters[:0]
+	inf.started = false
+	c.infFree = append(c.infFree, inf)
+}
+
+// newInflight pops a recycled under-transfer record (or builds one) for dst.
+func (c *Cache) newInflight(dst topology.DeviceID) *Inflight {
+	var inf *Inflight
+	if n := len(c.infFree); n > 0 {
+		inf = c.infFree[n-1]
+		c.infFree[n-1] = nil
+		c.infFree = c.infFree[:n-1]
+		inf.Dst = dst
+	} else {
+		inf = &Inflight{Dst: dst}
+	}
+	return inf
+}
+
+// TilesLiveMax reports the high-water mark of live (registered, not reset)
+// tiles — the tile arena's footprint.
+func (c *Cache) TilesLiveMax() int { return c.tilesLiveMax }
 
 // Stats returns a copy of the traffic counters.
 func (c *Cache) Stats() Stats { return c.stats }
@@ -211,6 +328,7 @@ func (c *Cache) PublishMetrics(reg *metrics.Registry) {
 	reg.Counter("cache.d2h.count").Store(s.D2HCount)
 	reg.Counter("cache.p2p.bytes").Store(s.P2PBytes)
 	reg.Counter("cache.p2p.count").Store(s.P2PCount)
+	reg.Gauge("cache.tiles_live_max").Set(float64(c.tilesLiveMax))
 }
 
 // NewMatrixID reserves a fresh matrix identifier.
@@ -221,19 +339,37 @@ func (c *Cache) NewMatrixID() MatrixID {
 }
 
 // NewTile registers a tile backed by the given host sub-view. Host data is
-// initially valid on the host only.
+// initially valid on the host only. Tiles come from the cache's arena: a
+// record recycled by Reset is reused (with its map storage), so repeated
+// registrations on a reused runtime allocate nothing in steady state.
 func (c *Cache) NewTile(key TileKey, host matrix.View) *Tile {
-	return &Tile{
-		Key:       key,
-		M:         host.M,
-		N:         host.N,
-		Bytes:     host.Bytes(),
-		Host:      host,
-		Owner:     -1,
-		hostValid: true,
-		reps:      make(map[topology.DeviceID]*replica),
-		inflight:  make(map[topology.DeviceID]*Inflight),
+	var t *Tile
+	if n := len(c.tileFree); n > 0 {
+		t = c.tileFree[n-1]
+		c.tileFree[n-1] = nil
+		c.tileFree = c.tileFree[:n-1]
+		t.Key, t.M, t.N, t.Bytes, t.Host = key, host.M, host.N, host.Bytes(), host
+		t.Owner = -1
+		t.hostValid = true
+		t.flushing = false
+	} else {
+		t = &Tile{
+			Key:       key,
+			M:         host.M,
+			N:         host.N,
+			Bytes:     host.Bytes(),
+			Host:      host,
+			Owner:     -1,
+			hostValid: true,
+			reps:      make(map[topology.DeviceID]*replica),
+			inflight:  make(map[topology.DeviceID]*Inflight),
+		}
 	}
+	c.allTiles = append(c.allTiles, t)
+	if len(c.allTiles) > c.tilesLiveMax {
+		c.tilesLiveMax = len(c.allTiles)
+	}
+	return t
 }
 
 // HostValid reports whether the host copy is current.
@@ -362,8 +498,8 @@ func (c *Cache) Unpin(t *Tile, dev topology.DeviceID) {
 
 // Touch moves the replica to the most-recently-used position.
 func (c *Cache) Touch(t *Tile, dev topology.DeviceID) {
-	if r := t.reps[dev]; r != nil && r.lruEl != nil {
-		c.lru[dev].MoveToBack(r.lruEl)
+	if r := t.reps[dev]; r != nil {
+		c.lru[dev].moveToBack(r)
 	}
 }
 
@@ -392,11 +528,19 @@ func (c *Cache) ensureReplica(t *Tile, dev topology.DeviceID) (*replica, error) 
 				Used: pool.Used(), Capacity: pool.Capacity()}
 		}
 	}
-	r := &replica{}
-	if c.Functional {
+	var r *replica
+	if n := len(c.repFree); n > 0 {
+		r = c.repFree[n-1]
+		c.repFree[n-1] = nil
+		c.repFree = c.repFree[:n-1]
+	} else {
+		r = &replica{}
+	}
+	if c.Functional && (r.buf.M != t.M || r.buf.N != t.N) {
 		r.buf = matrix.New(t.M, t.N)
 	}
-	r.lruEl = c.lru[dev].PushBack(lruEntry{tile: t, dev: dev})
+	r.tile = t
+	c.lru[dev].pushBack(r)
 	t.reps[dev] = r
 	if c.Audit != nil {
 		c.Audit.OnAlloc(t.CheckID(), dev, t.Bytes, pool.Used())
@@ -411,32 +555,28 @@ func (c *Cache) ensureReplica(t *Tile, dev topology.DeviceID) (*replica, error) 
 // the pool.
 func (c *Cache) evict(dev topology.DeviceID, need int64) {
 	pool := c.Plat.GPU(dev).Mem
-	l := c.lru[dev]
 	ev := c.evictor()
-	for e := l.Front(); e != nil && pool.Available() < need; {
-		next := e.Next()
-		ent := e.Value.(lruEntry)
-		if r := ent.tile.reps[dev]; r != nil {
-			cand := policy.EvictCandidate{
-				Dirty:    r.dirty,
-				Pinned:   r.pins > 0,
-				Inflight: ent.tile.InflightTo(dev),
-			}
-			if ev.ShouldEvict(cand) {
-				if cand.Dirty {
-					panic(fmt.Sprintf("cache: evictor %q would drop dirty replica %v@%d",
-						ev.Name(), ent.tile.Key, dev))
-				}
-				c.dropReplica(ent.tile, dev, "eviction")
-				c.stats.Evictions++
-				if c.Counters != nil {
-					c.Counters.EvictClean.Add(1)
-				}
-			} else if cand.Dirty && c.Counters != nil {
-				c.Counters.EvictDirtySkipped.Add(1)
-			}
+	for r := c.lru[dev].head; r != nil && pool.Available() < need; {
+		next := r.next
+		cand := policy.EvictCandidate{
+			Dirty:    r.dirty,
+			Pinned:   r.pins > 0,
+			Inflight: r.tile.InflightTo(dev),
 		}
-		e = next
+		if ev.ShouldEvict(cand) {
+			if cand.Dirty {
+				panic(fmt.Sprintf("cache: evictor %q would drop dirty replica %v@%d",
+					ev.Name(), r.tile.Key, dev))
+			}
+			c.dropReplica(r.tile, dev, "eviction")
+			c.stats.Evictions++
+			if c.Counters != nil {
+				c.Counters.EvictClean.Add(1)
+			}
+		} else if cand.Dirty && c.Counters != nil {
+			c.Counters.EvictDirtySkipped.Add(1)
+		}
+		r = next
 	}
 }
 
@@ -455,12 +595,11 @@ func (c *Cache) dropReplica(t *Tile, dev topology.DeviceID, reason string) {
 	if r == nil {
 		return
 	}
-	if r.lruEl != nil {
-		c.lru[dev].Remove(r.lruEl)
-	}
+	c.lru[dev].remove(r)
 	pool := c.Plat.GPU(dev).Mem
 	pool.Free(t.Bytes)
 	delete(t.reps, dev)
+	c.recycleReplica(r)
 	if c.Audit != nil {
 		c.Audit.OnDrop(t.CheckID(), dev, pool.Used(), reason)
 	}
@@ -495,7 +634,7 @@ func (c *Cache) StartTransfer(t *Tile, src, dst topology.DeviceID, done func()) 
 	}
 	inf := t.inflight[dst]
 	if inf == nil {
-		inf = &Inflight{Dst: dst}
+		inf = c.newInflight(dst)
 		t.inflight[dst] = inf
 		if c.Audit != nil {
 			c.Audit.OnInflightMark(t.CheckID(), dst, false)
@@ -559,6 +698,10 @@ func (c *Cache) completeTransfer(t *Tile, src, dst topology.DeviceID, kind Trans
 	for _, w := range inf.waiters {
 		w(nil)
 	}
+	// Recycle only after the waiter loop: a waiter may start a new transfer
+	// that pops this very record from the pool, and recycling early would
+	// let it scribble over the waiters slice mid-iteration.
+	c.recycleInflight(inf)
 }
 
 // serviceStart converts a transfer's [queued-start, delivery-end] interval
@@ -583,7 +726,7 @@ func (c *Cache) MarkInflight(t *Tile, dst topology.DeviceID) *Inflight {
 	if t.InflightTo(dst) {
 		panic(fmt.Sprintf("cache: duplicate inflight mark for %v on %d", t.Key, dst))
 	}
-	inf := &Inflight{Dst: dst}
+	inf := c.newInflight(dst)
 	t.inflight[dst] = inf
 	if c.Audit != nil {
 		c.Audit.OnInflightMark(t.CheckID(), dst, true)
@@ -614,6 +757,8 @@ func (c *Cache) CancelInflight(t *Tile, dst topology.DeviceID, err error) {
 	for _, w := range inf.waiters {
 		w(err)
 	}
+	// As in completeTransfer: recycle strictly after the waiters have fired.
+	c.recycleInflight(inf)
 }
 
 // AllocRaw prepares a replica buffer on dev with undefined contents and

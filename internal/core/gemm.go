@@ -28,6 +28,25 @@ func opGrid(ta Trans, a *xkrt.Matrix) (rows, cols int) {
 // combinations are supported. The call returns immediately; dependencies,
 // transfers and device mapping are resolved by the runtime.
 func (h *Handle) GemmAsync(ta, tb Trans, alpha float64, a, b *xkrt.Matrix, beta float64, c *xkrt.Matrix) {
+	h.gemmLoop(ta, tb, alpha, a, b, beta, c, false)
+}
+
+// GemmFlushAsync is GemmAsync with each C tile's host write-back scheduled
+// right after the last product of its k-chain, instead of a single
+// MemoryCoherentAsync pass at the end. Interleaving coherency with
+// computation bounds the dirty device footprint to the tiles still
+// accumulating: the end-of-call flush leaves every C tile dirty on its
+// owner at once, which exceeds aggregate device memory as soon as C
+// outgrows it — the wall that previously capped single-call problem sizes.
+// Combined with a stream window it lets a generator pipe an arbitrarily
+// large product through fixed task and device memory.
+func (h *Handle) GemmFlushAsync(ta, tb Trans, alpha float64, a, b *xkrt.Matrix, beta float64, c *xkrt.Matrix) {
+	h.gemmLoop(ta, tb, alpha, a, b, beta, c, true)
+}
+
+// gemmLoop is the shared PLASMA pdgemm loop nest; flush interleaves each C
+// tile's coherency task after its k-chain.
+func (h *Handle) gemmLoop(ta, tb Trans, alpha float64, a, b *xkrt.Matrix, beta float64, c *xkrt.Matrix, flush bool) {
 	am, ak := opGrid(ta, a)
 	bk, bn := opGrid(tb, b)
 	if am != c.Rows() || bn != c.Cols() || ak != bk {
@@ -35,11 +54,22 @@ func (h *Handle) GemmAsync(ta, tb Trans, alpha float64, a, b *xkrt.Matrix, beta 
 			am, ak, bk, bn, c.Rows(), c.Cols()))
 	}
 	if alpha == 0 {
-		c.EachTile(func(_, _ int, t *cache.Tile) { h.scalTask(beta, t, 0) })
+		c.EachTile(func(_, _ int, t *cache.Tile) {
+			h.scalTask(beta, t, 0)
+			if flush {
+				h.RT.SubmitFlush(t)
+			}
+		})
 		return
 	}
 	for i := 0; i < c.Rows(); i++ {
 		for j := 0; j < c.Cols(); j++ {
+			if h.RT.Err() != nil {
+				// Failed (or cancelled) run: stop generating. With a stream
+				// window the generator is still mid-loop when the failure
+				// surfaces, and the remaining chains could be most of the DAG.
+				return
+			}
 			ct := c.Tile(i, j)
 			for k := 0; k < ak; k++ {
 				bta := beta
@@ -47,6 +77,9 @@ func (h *Handle) GemmAsync(ta, tb Trans, alpha float64, a, b *xkrt.Matrix, beta 
 					bta = 1
 				}
 				h.gemmTask(ta, tb, alpha, opTile(ta, a, i, k), opTile(tb, b, k, j), bta, ct, 0)
+			}
+			if flush {
+				h.RT.SubmitFlush(ct)
 			}
 		}
 	}

@@ -89,6 +89,20 @@ func NewHandle(cfg Config) *Handle {
 	return &Handle{Eng: eng, Plat: plat, RT: rt, NB: cfg.TileSize}
 }
 
+// Reset returns the handle's engine, platform and runtime to their freshly
+// built state so one context can be reused across repetitions instead of
+// being rebuilt. Every pool and arena (engine events, server completion
+// records, tasks, tiles, replicas) keeps its capacity, and a reset handle
+// reproduces the virtual timeline of a fresh one bit for bit. Run-scoped
+// attachments are dropped: re-attach an auditor and re-arm kernel noise
+// per repetition. A memory reservation installed by swapping a GPU's pool
+// survives (Reset keeps pool capacity and merely empties it).
+func (h *Handle) Reset() {
+	h.Eng.Reset()
+	h.Plat.Reset()
+	h.RT.Reset()
+}
+
 // Register tracks a host matrix (LAPACK layout) for use in BLAS calls,
 // decomposed into NB×NB sub-matrix views.
 func (h *Handle) Register(v matrix.View) *xkrt.Matrix {

@@ -154,3 +154,8 @@ func (p *MemPool) Capacity() int64 { return p.capacity }
 
 // Available reports the free bytes.
 func (p *MemPool) Available() int64 { return p.capacity - p.used }
+
+// Reset drops every outstanding reservation, returning the pool to empty.
+// Used by platform reuse across repetitions after the owning cache has
+// discarded all replicas.
+func (p *MemPool) Reset() { p.used = 0 }

@@ -221,6 +221,22 @@ func NewPlatformWithLinks(eng *sim.Engine, topo *topology.Platform, links LinkMo
 // GPU returns the simulated GPU with the given id.
 func (p *Platform) GPU(id topology.DeviceID) *GPU { return p.GPUs[id] }
 
+// Reset returns every contended resource and memory pool to its initial
+// idle state so the platform can be reused across repetitions. Call it
+// after Engine.Reset (pending completions must already be dropped) and
+// after the software cache has discarded its replicas; a reset platform
+// reproduces the event order of a freshly built one. Kernel-noise state is
+// NOT touched here — re-arm it with Model.EnableNoise per repetition, which
+// is also what a fresh build requires.
+func (p *Platform) Reset() {
+	for _, cr := range p.resources {
+		cr.Res.Reset()
+	}
+	for _, g := range p.GPUs {
+		g.Mem.Reset()
+	}
+}
+
 // Route returns the ordered resource hops a transfer src→dst crosses. Every
 // hop queues the full payload; completion is the latest hop completion (see
 // sim.Transfer). dst == src routes over the local copy engine.

@@ -35,11 +35,21 @@ func Seconds(s float64) Time { return Time(s) }
 // Microseconds converts microseconds to a Time delta.
 func Microseconds(us float64) Time { return Time(us * 1e-6) }
 
-// event is a single scheduled callback.
+// Handler is the allocation-free form of an event callback: scheduling a
+// pooled object that implements Handler (AtHandler) stores a two-word
+// interface value instead of forcing a fresh closure per event, which is
+// what keeps steady-state resource completions heap-allocation free.
+type Handler interface {
+	Fire()
+}
+
+// event is a single scheduled callback: either a closure (fn) or a pooled
+// Handler (h), never both.
 type event struct {
 	at  Time
 	seq uint64 // tie-break: submission order
 	fn  func()
+	h   Handler
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
@@ -101,6 +111,7 @@ func (e *Engine) Reset() {
 	}
 	for i, ev := range e.events {
 		ev.fn = nil
+		ev.h = nil
 		e.free = append(e.free, ev)
 		e.events[i] = nil
 	}
@@ -126,7 +137,17 @@ func (e *Engine) acquire(at Time, seq uint64, fn func()) *event {
 // recycle clears a fired event and returns it to the free list.
 func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
+	ev.h = nil
 	e.free = append(e.free, ev)
+}
+
+// fire runs the event's callback, whichever form it carries.
+func (ev *event) fire() {
+	if ev.h != nil {
+		ev.h.Fire()
+		return
+	}
+	ev.fn()
 }
 
 // eventLess orders events by time, then submission sequence.
@@ -193,6 +214,20 @@ func (e *Engine) At(t Time, fn func()) {
 	e.push(e.acquire(t, e.seq, fn))
 }
 
+// AtHandler schedules h.Fire to run at absolute virtual time t. It is the
+// allocation-free counterpart of At: h is typically a pooled object, so
+// steady-state scheduling touches the heap nowhere. Ordering relative to
+// At-scheduled events follows the same (time, sequence) rule.
+func (e *Engine) AtHandler(t Time, h Handler) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := e.acquire(t, e.seq, nil)
+	ev.h = h
+	e.push(ev)
+}
+
 // After schedules fn to run d seconds of virtual time from now. Negative
 // delays panic.
 func (e *Engine) After(d Time, fn func()) {
@@ -226,7 +261,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		e.pop()
 		e.now = next.at
 		e.fired++
-		next.fn()
+		next.fire()
 		e.recycle(next)
 	}
 	return e.now
@@ -246,7 +281,7 @@ func (e *Engine) RunWhile(cond func() bool) Time {
 		next := e.pop()
 		e.now = next.at
 		e.fired++
-		next.fn()
+		next.fire()
 		e.recycle(next)
 	}
 	return e.now

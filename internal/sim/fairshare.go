@@ -169,5 +169,16 @@ func (s *FairServer) AvailableAt() Time { return s.eng.Now() }
 // Stats reports the utilization counters accumulated so far (Resource).
 func (s *FairServer) Stats() ResourceStats { return s.stats }
 
+// Reset returns the server to its initial idle state (Resource). In-flight
+// jobs are dropped: their wake-up events are assumed gone via Engine.Reset.
+func (s *FairServer) Reset() {
+	for j := range s.jobs {
+		delete(s.jobs, j)
+	}
+	s.lastUpd = 0
+	s.wakeToken = 0
+	s.stats = ResourceStats{}
+}
+
 // Active reports the number of in-flight jobs.
 func (s *FairServer) Active() int { return len(s.jobs) }

@@ -17,6 +17,19 @@ type Resource interface {
 	AvailableAt() Time
 	// Stats reports the utilization counters accumulated so far.
 	Stats() ResourceStats
+	// Reset returns the resource to its initial idle state (clock
+	// bookkeeping zeroed, statistics cleared) while keeping any internal
+	// pools, so a platform can be reused across repetitions and reproduce
+	// the event order of a fresh one. Call only with the owning engine
+	// quiescent (after Engine.Reset dropped pending completions).
+	Reset()
+}
+
+// JobDone is the allocation-free form of a completion callback: pooled
+// objects implementing JobDone can be handed to Server.SubmitJob instead of
+// a per-call closure.
+type JobDone interface {
+	JobDone(start, end Time)
 }
 
 // ResourceStats is the unified utilization report of every resource model.
@@ -62,6 +75,38 @@ type Server struct {
 	// abort must not be credited as utilization.
 	stats   ResourceStats
 	pending int
+
+	// jobFree recycles completion records: steady-state submission performs
+	// no heap allocation (mirroring the engine's event free list).
+	jobFree []*srvJob
+}
+
+// srvJob is the pooled completion record of one queued job. It doubles as
+// the engine event handler, so a Submit costs zero allocations once the
+// pool is warm.
+type srvJob struct {
+	s          *Server
+	size       float64
+	start, end Time
+	done       func(start, end Time)
+	jd         JobDone
+}
+
+// Fire implements Handler: credit served work, recycle, notify.
+func (j *srvJob) Fire() {
+	s := j.s
+	s.pending--
+	s.stats.Served++
+	s.stats.Units += j.size
+	s.stats.Busy += j.end - j.start
+	done, jd, start, end := j.done, j.jd, j.start, j.end
+	j.done, j.jd = nil, nil
+	s.jobFree = append(s.jobFree, j)
+	if jd != nil {
+		jd.JobDone(start, end)
+	} else if done != nil {
+		done(start, end)
+	}
 }
 
 // NewServer creates a FIFO server with the given service rate in units per
@@ -83,6 +128,17 @@ func (s *Server) Rate() float64 { return s.rate }
 // done callback (may be nil) runs when the job finishes and receives the
 // virtual start and end times of its service interval.
 func (s *Server) Submit(size float64, overhead Time, done func(start, end Time)) {
+	s.submit(size, overhead, done, nil)
+}
+
+// SubmitJob enqueues a job whose completion notifies jd (may be nil). It is
+// the allocation-free counterpart of Submit: jd is typically a pooled or
+// long-lived object, so the hot submit path never touches the heap.
+func (s *Server) SubmitJob(size float64, overhead Time, jd JobDone) {
+	s.submit(size, overhead, nil, jd)
+}
+
+func (s *Server) submit(size float64, overhead Time, done func(start, end Time), jd JobDone) {
 	if size < 0 {
 		panic(fmt.Sprintf("sim: negative job size %g on %q", size, s.name))
 	}
@@ -97,19 +153,20 @@ func (s *Server) Submit(size float64, overhead Time, done func(start, end Time))
 	if s.pending > s.stats.QueueMax {
 		s.stats.QueueMax = s.pending
 	}
+	var j *srvJob
+	if n := len(s.jobFree); n > 0 {
+		j = s.jobFree[n-1]
+		s.jobFree[n-1] = nil
+		s.jobFree = s.jobFree[:n-1]
+	} else {
+		j = &srvJob{}
+	}
+	j.s, j.size, j.start, j.end, j.done, j.jd = s, size, start, end, done, jd
 	// The completion event is always scheduled (even with a nil done):
 	// served-work accounting belongs to service completion. An aborted
 	// engine drops the event, and with it the utilization credit — queued
 	// jobs that never ran used to inflate busy time here.
-	s.eng.At(end, func() {
-		s.pending--
-		s.stats.Served++
-		s.stats.Units += size
-		s.stats.Busy += end - start
-		if done != nil {
-			done(start, end)
-		}
-	})
+	s.eng.AtHandler(end, j)
 }
 
 // ServiceTime reports how long a job of the given size would occupy the
@@ -128,6 +185,15 @@ func (s *Server) AvailableAt() Time {
 
 // Stats reports the utilization counters accumulated so far (Resource).
 func (s *Server) Stats() ResourceStats { return s.stats }
+
+// Reset returns the server to its initial idle state while keeping the
+// completion-record pool (Resource). The owning engine must be quiescent:
+// pending completion events are assumed dropped by Engine.Reset.
+func (s *Server) Reset() {
+	s.busyUntil = 0
+	s.stats = ResourceStats{}
+	s.pending = 0
+}
 
 // Transfer occupies every server in path with the same job and fires done
 // once all of them have finished. It models a transfer that crosses several

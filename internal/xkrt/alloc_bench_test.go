@@ -1,0 +1,97 @@
+package xkrt
+
+import (
+	"testing"
+
+	"xkblas/internal/blasops"
+	"xkblas/internal/device"
+	"xkblas/internal/matrix"
+	"xkblas/internal/sim"
+	"xkblas/internal/topology"
+)
+
+// Allocation benchmarks for the task layer. The paper-scale sweeps stop at
+// N=57344, but the roadmap's million-task single runs make per-task heap
+// traffic the binding constraint: these benchmarks measure the steady-state
+// allocation cost of submitting, running and retiring tasks on one runtime,
+// and `make bench-alloc` gates the budget (TestSubmitSteadyStateAllocBudget).
+
+// benchRig is a reusable runtime over an 8x8 tile grid in timing mode.
+type benchRig struct {
+	eng  *sim.Engine
+	plat *device.Platform
+	rt   *Runtime
+	m    *Matrix
+	spec KernelSpec
+}
+
+const benchGrid = 8
+
+func newBenchRig() *benchRig {
+	eng := sim.NewEngine()
+	plat := device.NewPlatform(eng, topology.DGX1())
+	rt := New(eng, plat, false, DefaultOptions())
+	const nb = 256
+	m := rt.Register(matrix.NewShape(benchGrid*nb, benchGrid*nb), nb)
+	spec := KernelSpec{Routine: blasops.Gemm, M: nb, N: nb, K: nb, Flops: 2 * nb * nb * nb}
+	return &benchRig{eng: eng, plat: plat, rt: rt, m: m, spec: spec}
+}
+
+// reset returns the rig to its freshly built state (the core.Handle.Reset
+// chain: engine, platform, runtime — pools keep their capacity).
+func (r *benchRig) reset() {
+	r.eng.Reset()
+	r.plat.Reset()
+	r.rt.Reset()
+}
+
+// submitWave submits one RW task per tile of the grid (64 tasks), each
+// depending on the previous wave's writer of the same tile, plus a read of a
+// neighbour tile — the steady-state shape of an iterated tile algorithm.
+func (r *benchRig) submitWave() {
+	for i := 0; i < benchGrid; i++ {
+		for j := 0; j < benchGrid; j++ {
+			r.rt.Submit("wave", r.spec, 0,
+				RW(r.m.Tile(i, j)), R(r.m.Tile((i+1)%benchGrid, j)))
+		}
+	}
+}
+
+// BenchmarkSubmitComplete measures the steady-state cost of one full
+// submit->run->retire wave (64 tasks) on a long-lived runtime.
+func BenchmarkSubmitComplete(b *testing.B) {
+	rig := newBenchRig()
+	// Warm-up wave: populate replicas, queues and pools.
+	rig.submitWave()
+	rig.rt.Barrier()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rig.submitWave()
+		rig.rt.Barrier()
+	}
+	b.StopTimer()
+	if err := rig.rt.Err(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(benchGrid*benchGrid), "tasks/op")
+}
+
+// BenchmarkDAGBuild measures pure graph construction (no execution): the
+// dependency-linking path that a streaming builder drives millions of times.
+func BenchmarkDAGBuild(b *testing.B) {
+	rig := newBenchRig()
+	rig.submitWave()
+	rig.rt.Barrier()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rig.submitWave()
+	}
+	b.StopTimer()
+	rig.rt.Barrier()
+	if err := rig.rt.Err(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(benchGrid*benchGrid), "tasks/op")
+}

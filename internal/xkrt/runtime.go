@@ -73,6 +73,21 @@ type Options struct {
 	// GridP×GridQ is the owner-computes mapping grid; 0 derives it from
 	// the GPU count (8→4×2, matching the paper's DoD grid).
 	GridP, GridQ int
+	// StreamWindow, when positive, bounds the number of live tasks
+	// (admitted into the runtime but not yet completed): a submission past
+	// the bound waits, in submission order, until older tasks retire. A
+	// generator calling Submit in a loop thereby streams an arbitrarily
+	// large DAG through bounded task memory. 0 admits every submission
+	// immediately (the historical whole-graph behavior).
+	StreamWindow int
+	// StreamWhole, with StreamWindow > 0, materializes the entire DAG at
+	// submission time and applies the admission window during execution
+	// instead of blocking the submitter. Both modes admit every task at
+	// the same virtual instant, so a streamed run is bit-identical to its
+	// whole-graph counterpart — the reference the parity tests compare
+	// against — but whole-graph memory grows with the full DAG. Ignored
+	// when StreamWindow is 0.
+	StreamWhole bool
 	// Policy, when non-nil, is the complete declarative policy bundle and
 	// overrides every knob above except Window and the grid. The baseline
 	// libraries configure the runtime this way; the boolean knobs remain
@@ -98,6 +113,9 @@ func (o Options) Validate() error {
 	}
 	if o.GridP < 0 || o.GridQ < 0 {
 		return fmt.Errorf("xkrt: negative owner grid %dx%d", o.GridP, o.GridQ)
+	}
+	if o.StreamWindow < 0 {
+		return fmt.Errorf("xkrt: negative Options.StreamWindow %d", o.StreamWindow)
 	}
 	if o.Policy != nil {
 		if err := o.Policy.Validate(); err != nil {
@@ -172,8 +190,28 @@ type Runtime struct {
 	lastWriter map[cache.TileKey]*Task
 	readers    map[cache.TileKey][]*Task
 
-	queues  [][]*Task // per-device ready queues (FIFO or priority-sorted)
-	window  []int     // per-device in-flight task count
+	// Task arena: completed tasks recycle through taskFree (with their
+	// inline access storage and successor-slice capacity), and depScratch
+	// is wire's reusable dependency-dedup scratch, so steady-state
+	// submission performs no heap allocation. tasksLiveMax is the arena's
+	// high-water mark of live (admitted, not completed) tasks.
+	taskFree     []*Task
+	depScratch   []*Task
+	tasksLiveMax int
+
+	// Streaming admission state (Options.StreamWindow): live counts
+	// admitted-but-not-completed tasks, admitQ/admitHead queue submitted
+	// tasks awaiting in-order admission (StreamWhole mode), windowFull is
+	// the preallocated blocking condition of lazy submission, and
+	// windowStalls counts tasks that had to wait for window room.
+	live         int
+	admitQ       []*Task
+	admitHead    int
+	windowFull   func() bool
+	windowStalls int64
+
+	queues  []taskQueue // per-device ready queues (FIFO or priority-sorted)
+	window  []int       // per-device in-flight task count
 	estLoad []sim.Time
 
 	pending int // submitted but not completed tasks
@@ -249,7 +287,7 @@ func New(eng *sim.Engine, plat *device.Platform, functional bool, opt Options) *
 		pol:        opt.bundle(),
 		lastWriter: make(map[cache.TileKey]*Task),
 		readers:    make(map[cache.TileKey][]*Task),
-		queues:     make([][]*Task, n),
+		queues:     make([]taskQueue, n),
 		window:     make([]int, n),
 		estLoad:    make([]sim.Time, n),
 	}
@@ -258,7 +296,57 @@ func New(eng *sim.Engine, plat *device.Platform, functional bool, opt Options) *
 	rt.stallHist = rt.reg.Histogram("rt.stall_seconds", StallBuckets)
 	rt.Cache.Evictor = rt.pol.Evictor
 	rt.Cache.Counters = rt.counters
+	rt.windowFull = func() bool { return rt.live >= rt.Opt.StreamWindow }
 	return rt
+}
+
+// Reset returns the runtime (and its cache) to the freshly built state so
+// an engine/platform/runtime triple can be reused across repetitions: task
+// and tile arenas keep their capacity, every table and counter is cleared,
+// run-scoped attachments (Obs, auditor) are dropped, and the metrics
+// registry is rebuilt so a reused runtime publishes exactly what a fresh
+// one would. The caller must reset the engine and platform first
+// (Engine.Reset, then Platform.Reset); a reset triple reproduces the event
+// order — and therefore every timing, decision and metric — of a fresh
+// build bit for bit.
+func (rt *Runtime) Reset() {
+	rt.Cache.Reset()
+	rt.Cache.Evictor = rt.pol.Evictor
+	rt.nextID = 0
+	clear(rt.lastWriter)
+	clear(rt.readers)
+	for d := range rt.queues {
+		rt.queues[d].clear()
+		rt.window[d] = 0
+		rt.estLoad[d] = 0
+	}
+	rt.pending = 0
+	rt.ownerRR = 0
+	rt.reg = metrics.NewRegistry()
+	rt.counters = policy.NewCounters(rt.reg)
+	rt.stallHist = rt.reg.Histogram("rt.stall_seconds", StallBuckets)
+	rt.Cache.Counters = rt.counters
+	rt.readyCount = 0
+	rt.audit = nil
+	rt.runErr = nil
+	for i := range rt.chains {
+		rt.chains[i] = chainMark{}
+	}
+	rt.chains = rt.chains[:0]
+	rt.cancelMu.Lock()
+	rt.cancelReq = false
+	rt.cancelCause = nil
+	rt.cancelMu.Unlock()
+	rt.stats = RuntimeStats{}
+	rt.Obs = nil
+	rt.tasksLiveMax = 0
+	rt.live = 0
+	for i := rt.admitHead; i < len(rt.admitQ); i++ {
+		rt.admitQ[i] = nil
+	}
+	rt.admitQ = rt.admitQ[:0]
+	rt.admitHead = 0
+	rt.windowStalls = 0
 }
 
 // StallBuckets are the fixed histogram bounds (seconds of virtual time) for
@@ -322,8 +410,20 @@ func (rt *Runtime) CollectMetrics() metrics.Snapshot {
 	rt.reg.Counter("rt.peer_sources").Store(rt.stats.PeerSources)
 	rt.reg.Gauge("rt.ready_queue_max").Set(float64(rt.stats.ReadyQueueMax))
 	rt.reg.Gauge("rt.stall_time_seconds").Set(float64(rt.stats.StallTime))
+	rt.reg.Counter("rt.window_stalls").Store(rt.windowStalls)
+	rt.reg.Gauge("rt.tasks_live_max").Set(float64(rt.tasksLiveMax))
 	return rt.reg.Snapshot()
 }
+
+// TasksLiveMax reports the high-water mark of live (admitted, not yet
+// completed) tasks — the task arena's footprint. With a stream window it is
+// bounded by the window plus the synchronous admission overshoot; without
+// one it grows with the whole graph.
+func (rt *Runtime) TasksLiveMax() int { return rt.tasksLiveMax }
+
+// WindowStalls reports how many tasks had to wait for stream-window room
+// before admission.
+func (rt *Runtime) WindowStalls() int64 { return rt.windowStalls }
 
 // Policy returns the active policy bundle.
 func (rt *Runtime) Policy() policy.Bundle { return rt.pol }
@@ -336,11 +436,11 @@ type schedState struct{ rt *Runtime }
 func (s schedState) NumDevices() int { return len(s.rt.Plat.GPUs) }
 
 // QueueLen implements policy.SchedState.
-func (s schedState) QueueLen(dev topology.DeviceID) int { return len(s.rt.queues[dev]) }
+func (s schedState) QueueLen(dev topology.DeviceID) int { return s.rt.queues[dev].len() }
 
 // PeekQueue implements policy.SchedState.
 func (s schedState) PeekQueue(dev topology.DeviceID, i int) policy.SchedTask {
-	return s.rt.queues[dev][i]
+	return s.rt.queues[dev].at(i)
 }
 
 // EstLoad implements policy.SchedState.
@@ -388,22 +488,75 @@ func (rt *Runtime) PendingExternal(delta int) {
 	}
 }
 
+// newTask takes a recycled task record from the arena (or allocates one)
+// and stamps the next submission id. Up to four accesses — every level-3
+// BLAS tile kernel — are stored inline, so steady-state submission touches
+// the heap nowhere.
+func (rt *Runtime) newTask(kind taskKind, accesses []Access) *Task {
+	var t *Task
+	if n := len(rt.taskFree); n > 0 {
+		t = rt.taskFree[n-1]
+		rt.taskFree[n-1] = nil
+		rt.taskFree = rt.taskFree[:n-1]
+	} else {
+		t = &Task{}
+	}
+	t.rt = rt
+	t.id = rt.nextID
+	rt.nextID++
+	t.kind = kind
+	t.dev = -1
+	t.state = stateSubmitted
+	if len(accesses) <= len(t.accStore) {
+		n := copy(t.accStore[:], accesses)
+		t.acc = t.accStore[:n]
+	} else {
+		t.acc = append([]Access(nil), accesses...)
+	}
+	return t
+}
+
+// recycleTask clears a completed task and returns it to the arena. By the
+// time a task completes, no predecessor holds it (they completed first and
+// were themselves recycled) and its successors only carried a counter, so
+// the record is unreachable outside the dependency tables taskDone already
+// pruned.
+func (rt *Runtime) recycleTask(t *Task) {
+	for i := range t.acc {
+		t.acc[i] = Access{}
+	}
+	t.acc = nil
+	t.name = ""
+	t.kern = KernelSpec{}
+	t.priority = 0
+	t.preds = 0
+	for i := range t.succs {
+		t.succs[i] = nil
+	}
+	t.succs = t.succs[:0]
+	t.dev = -1
+	t.wired = false
+	t.admitted = false
+	t.stallCounted = false
+	t.pendingFetch = 0
+	t.estExec = 0
+	t.readyAt = 0
+	rt.taskFree = append(rt.taskFree, t)
+}
+
 // Submit adds a compute task with the given kernel, priority and accesses.
 // Dependencies are inferred from access modes in submission order, exactly
 // like a sequential-consistency superscalar: reads depend on the last
-// writer; writes depend on the last writer and every reader since.
+// writer; writes depend on the last writer and every reader since. With a
+// stream window configured (Options.StreamWindow), Submit may drive the
+// simulation until the window has room. The returned *Task is recycled at
+// completion and must not be retained past Barrier.
 func (rt *Runtime) Submit(name string, kern KernelSpec, priority int, accesses ...Access) *Task {
-	t := &Task{
-		id:       rt.nextID,
-		name:     name,
-		kind:     kindCompute,
-		acc:      accesses,
-		kern:     kern,
-		priority: priority,
-		dev:      -1,
-	}
-	rt.nextID++
-	rt.link(t)
+	t := rt.newTask(kindCompute, accesses)
+	t.name = name
+	t.kern = kern
+	t.priority = priority
+	rt.stage(t)
 	return t
 }
 
@@ -411,47 +564,120 @@ func (rt *Runtime) Submit(name string, kern KernelSpec, priority int, accesses .
 // completes, its dirty replica is written back to host memory. This is the
 // lazy, composable D2H of §IV-F (xkblas_memory_coherent_async).
 func (rt *Runtime) SubmitFlush(tile *cache.Tile) *Task {
-	t := &Task{
-		id:   rt.nextID,
-		name: "flush " + tile.Key.String(),
-		kind: kindFlush,
-		acc:  []Access{R(tile)},
-		dev:  -1,
-	}
-	rt.nextID++
-	rt.link(t)
+	t := rt.newTask(kindFlush, []Access{R(tile)})
+	rt.stage(t)
 	return t
 }
 
 // SubmitPrefetch adds a distribution task pushing the tile to dev and
 // marking dev as the tile's owner-computes home
-// (xkblas_distribute_2Dblock_cyclic_async builds on this).
+// (xkblas_distribute_2Dblock_cyclic_async builds on this). The owner claim
+// happens at admission, not submission, so streamed and whole-graph runs
+// observe it at the same virtual instant.
 func (rt *Runtime) SubmitPrefetch(tile *cache.Tile, dev topology.DeviceID) *Task {
-	t := &Task{
-		id:   rt.nextID,
-		name: "prefetch " + tile.Key.String(),
-		kind: kindPrefetch,
-		acc:  []Access{R(tile)},
-		dev:  dev,
-	}
-	rt.nextID++
-	tile.Owner = dev
-	rt.link(t)
+	t := rt.newTask(kindPrefetch, []Access{R(tile)})
+	t.dev = dev
+	rt.stage(t)
 	return t
 }
 
-// link wires dependencies and enqueues the task if it is immediately ready.
-func (rt *Runtime) link(t *Task) {
+// stage routes a freshly submitted task through the admission window.
+// Without a stream window the task is admitted immediately (the historical
+// behavior). StreamWhole wires dependencies now and queues the task for
+// in-order admission at event boundaries; lazy streaming blocks the
+// submitter — driving the engine — until the window has room, then admits.
+// Both streaming modes admit every task at the same virtual instant and at
+// the same event boundary, which is what makes a streamed run bit-identical
+// to its whole-graph reference.
+func (rt *Runtime) stage(t *Task) {
+	win := rt.Opt.StreamWindow
+	if win <= 0 {
+		rt.admit(t)
+		return
+	}
+	if rt.Opt.StreamWhole {
+		rt.wire(t)
+		rt.admitQ = append(rt.admitQ, t)
+		rt.tryAdmit()
+		return
+	}
+	if rt.live >= win {
+		t.stallCounted = true
+		rt.windowStalls++
+		rt.Eng.RunWhile(rt.windowFull)
+	}
+	rt.admit(t)
+}
+
+// admit marks a task live, wires its dependencies if submission did not,
+// and enqueues it when already runnable. Admission order is submission
+// order in every mode.
+func (rt *Runtime) admit(t *Task) {
+	t.admitted = true
+	rt.live++
+	if rt.live > rt.tasksLiveMax {
+		rt.tasksLiveMax = rt.live
+	}
+	if t.kind == kindPrefetch {
+		t.acc[0].Tile.Owner = t.dev
+	}
+	if !t.wired {
+		rt.wire(t)
+	}
+	if t.preds == 0 {
+		rt.enqueueReady(t)
+	}
+}
+
+// tryAdmit admits queued whole-graph tasks in submission order while the
+// stream window has room. It runs only at the boundaries where lazy
+// submission could unblock — between engine events (Barrier's RunWhile
+// condition) and between submissions (stage) — never from inside a
+// completion cascade, so both modes interleave admissions with event
+// processing identically. When the window is full, the task at the queue
+// head is charged one window stall: the same instant its lazy-mode
+// counterpart would block in Submit.
+func (rt *Runtime) tryAdmit() {
+	if rt.admitHead >= len(rt.admitQ) {
+		return
+	}
+	win := rt.Opt.StreamWindow
+	for rt.admitHead < len(rt.admitQ) && rt.live < win {
+		t := rt.admitQ[rt.admitHead]
+		rt.admitQ[rt.admitHead] = nil
+		rt.admitHead++
+		if rt.admitHead == len(rt.admitQ) {
+			rt.admitQ = rt.admitQ[:0]
+			rt.admitHead = 0
+		}
+		rt.admit(t)
+	}
+	if rt.admitHead < len(rt.admitQ) {
+		if h := rt.admitQ[rt.admitHead]; !h.stallCounted {
+			h.stallCounted = true
+			rt.windowStalls++
+		}
+	}
+}
+
+// wire links the task's dependencies into the tables. The dedup scratch is
+// reused across calls: a task's dependency fan-in is tiny (bounded by its
+// access count plus readers), so a linear scan beats a map and allocates
+// nothing.
+func (rt *Runtime) wire(t *Task) {
+	t.wired = true
 	rt.pending++
-	depSet := make(map[int]struct{})
+	deps := rt.depScratch[:0]
 	addDep := func(p *Task) {
 		if p == nil || p.state == stateDone || p == t {
 			return
 		}
-		if _, dup := depSet[p.id]; dup {
-			return
+		for _, d := range deps {
+			if d == p {
+				return
+			}
 		}
-		depSet[p.id] = struct{}{}
+		deps = append(deps, p)
 		p.succs = append(p.succs, t)
 		t.preds++
 	}
@@ -472,13 +698,43 @@ func (rt *Runtime) link(t *Task) {
 		k := a.Tile.Key
 		if a.Mode.writes() {
 			rt.lastWriter[k] = t
-			rt.readers[k] = nil
+			rs := rt.readers[k]
+			for i := range rs {
+				rs[i] = nil
+			}
+			rt.readers[k] = rs[:0]
 		} else {
 			rt.readers[k] = append(rt.readers[k], t)
 		}
 	}
-	if t.preds == 0 {
-		rt.enqueueReady(t)
+	for i := range deps {
+		deps[i] = nil
+	}
+	rt.depScratch = deps[:0]
+}
+
+// pruneTables removes a completed task from the dependency tables. Every
+// later submission would have skipped the task anyway (done predecessors
+// are never linked), so pruning is observably neutral — it exists so the
+// record can be recycled and the tables stay bounded by the live set
+// instead of growing with the whole run.
+func (rt *Runtime) pruneTables(t *Task) {
+	for _, a := range t.acc {
+		k := a.Tile.Key
+		if a.Mode.writes() {
+			if rt.lastWriter[k] == t {
+				delete(rt.lastWriter, k)
+			}
+		} else if rs := rt.readers[k]; len(rs) > 0 {
+			for i, r := range rs {
+				if r == t {
+					copy(rs[i:], rs[i+1:])
+					rs[len(rs)-1] = nil
+					rt.readers[k] = rs[:len(rs)-1]
+					break
+				}
+			}
+		}
 	}
 }
 
@@ -488,7 +744,13 @@ func (rt *Runtime) link(t *Task) {
 // virtual time — tasks stranded by the failure are expected, not a
 // deadlock — and the caller must check Err.
 func (rt *Runtime) Barrier() sim.Time {
-	rt.Eng.RunWhile(func() bool { return rt.pending > 0 })
+	// The condition runs between events — the admission boundary: queued
+	// whole-graph tasks are admitted here, exactly where a lazily streamed
+	// submission would unblock.
+	rt.Eng.RunWhile(func() bool {
+		rt.tryAdmit()
+		return rt.pending > 0
+	})
 	if rt.pending > 0 {
 		if req, cause := rt.cancelRequested(); req || rt.Eng.Stopped() {
 			// The engine aborted mid-graph (Cancel, or a raw Engine.Stop):
@@ -515,19 +777,22 @@ func (rt *Runtime) Barrier() sim.Time {
 	return rt.Eng.Now()
 }
 
-// taskDone finalises a task and wakes successors.
+// taskDone finalises a task, wakes successors and recycles the record.
 func (rt *Runtime) taskDone(t *Task) {
 	t.state = stateDone
 	rt.pending--
+	rt.live--
 	rt.stats.TasksRun++
 	for _, s := range t.succs {
 		s.preds--
 		if s.preds < 0 {
 			panic("xkrt: negative predecessor count")
 		}
-		if s.preds == 0 {
+		if s.preds == 0 && s.admitted {
 			rt.enqueueReady(s)
 		}
 	}
+	rt.pruneTables(t)
 	rt.pumpAll()
+	rt.recycleTask(t)
 }

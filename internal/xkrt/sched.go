@@ -12,6 +12,61 @@ import (
 	"xkblas/internal/topology"
 )
 
+// taskQueue is a head-indexed deque: popping the front advances head
+// instead of re-slicing away the backing array, so once the queue drains
+// the array is reused and steady-state enqueueing allocates nothing.
+type taskQueue struct {
+	buf  []*Task
+	head int
+}
+
+func (q *taskQueue) len() int       { return len(q.buf) - q.head }
+func (q *taskQueue) at(i int) *Task { return q.buf[q.head+i] }
+func (q *taskQueue) push(t *Task)   { q.buf = append(q.buf, t) }
+
+func (q *taskQueue) popFront() *Task {
+	t := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return t
+}
+
+// removeAt takes the element at logical index i (0 = front) out of the
+// queue, preserving order.
+func (q *taskQueue) removeAt(i int) *Task {
+	p := q.head + i
+	t := q.buf[p]
+	copy(q.buf[p:], q.buf[p+1:])
+	q.buf[len(q.buf)-1] = nil
+	q.buf = q.buf[:len(q.buf)-1]
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return t
+}
+
+// insertAt places t at logical index i (0 = front), shifting the tail.
+func (q *taskQueue) insertAt(i int, t *Task) {
+	p := q.head + i
+	q.buf = append(q.buf, nil)
+	copy(q.buf[p+1:], q.buf[p:])
+	q.buf[p] = t
+}
+
+// clear drops every queued task and resets the deque, keeping capacity.
+func (q *taskQueue) clear() {
+	for i := q.head; i < len(q.buf); i++ {
+		q.buf[i] = nil
+	}
+	q.buf = q.buf[:0]
+	q.head = 0
+}
+
 // enqueueReady routes a dependency-free task to the scheduler.
 func (rt *Runtime) enqueueReady(t *Task) {
 	t.state = stateQueued
@@ -32,7 +87,7 @@ func (rt *Runtime) enqueueReady(t *Task) {
 		rt.insertByPriority(dev, t)
 		rt.estLoad[dev] += t.estExec
 	} else {
-		rt.queues[dev] = append(rt.queues[dev], t)
+		rt.queues[dev].push(t)
 	}
 	t.readyAt = rt.Eng.Now()
 	rt.readyCount++
@@ -45,17 +100,15 @@ func (rt *Runtime) enqueueReady(t *Task) {
 // insertByPriority keeps the DMDAS per-device queue sorted by descending
 // priority, then submission order.
 func (rt *Runtime) insertByPriority(dev topology.DeviceID, t *Task) {
-	q := rt.queues[dev]
-	i := sort.Search(len(q), func(i int) bool {
-		if q[i].priority != t.priority {
-			return q[i].priority < t.priority
+	q := &rt.queues[dev]
+	i := sort.Search(q.len(), func(i int) bool {
+		qi := q.at(i)
+		if qi.priority != t.priority {
+			return qi.priority < t.priority
 		}
-		return q[i].id > t.id
+		return qi.id > t.id
 	})
-	q = append(q, nil)
-	copy(q[i+1:], q[i:])
-	q[i] = t
-	rt.queues[dev] = q
+	q.insertAt(i, t)
 }
 
 // pumpAll tops up every device's pipeline window in id order (determinism).
@@ -82,10 +135,8 @@ func (rt *Runtime) pump(dev topology.DeviceID) {
 // whatever migration the scheduler policy allows (locality-guided stealing
 // for work stealing, nothing for DMDAS).
 func (rt *Runtime) popTask(dev topology.DeviceID) *Task {
-	q := rt.queues[dev]
-	if len(q) > 0 {
-		t := q[0]
-		rt.queues[dev] = q[1:]
+	if q := &rt.queues[dev]; q.len() > 0 {
+		t := q.popFront()
 		if rt.pol.Scheduler.Sorted() {
 			rt.estLoad[dev] -= t.estExec
 		}
@@ -97,9 +148,7 @@ func (rt *Runtime) popTask(dev topology.DeviceID) *Task {
 	if !ok {
 		return nil
 	}
-	vq := rt.queues[victim]
-	t := vq[idx]
-	rt.queues[victim] = append(vq[:idx:idx], vq[idx+1:]...)
+	t := rt.queues[victim].removeAt(idx)
 	rt.readyCount--
 	rt.stats.Steals++
 	rt.counters.Steals.Add(1)
@@ -156,9 +205,10 @@ func (rt *Runtime) launchKernel(t *Task) {
 	}
 	g := rt.Plat.GPU(dev)
 	eff := rt.Plat.Model.EffectiveFlops(t.kern.Routine, t.kern.Flops, t.kern.M, t.kern.N, t.kern.K)
-	g.Kernel.Submit(eff, rt.Plat.Model.LaunchOverhead, func(start, end sim.Time) {
-		rt.completeKernel(t, start, end)
-	})
+	// The task itself is the completion callback (sim.JobDone): the hot
+	// launch path allocates neither a closure here nor an event record in
+	// the engine.
+	g.Kernel.SubmitJob(eff, rt.Plat.Model.LaunchOverhead, t)
 }
 
 func (rt *Runtime) completeKernel(t *Task, start, end sim.Time) {

@@ -94,12 +94,16 @@ const (
 	stateDone
 )
 
-// Task is one node of the dataflow graph.
+// Task is one node of the dataflow graph. Tasks come from the runtime's
+// free list and are recycled when they complete, so callers must not retain
+// the *Task returned by Submit past the task's completion (Barrier).
 type Task struct {
+	rt       *Runtime
 	id       int
 	name     string
 	kind     taskKind
 	acc      []Access
+	accStore [4]Access // inline storage: level-3 BLAS tasks touch ≤ 4 tiles
 	kern     KernelSpec
 	priority int
 
@@ -108,6 +112,9 @@ type Task struct {
 
 	dev          topology.DeviceID // prefetch target / assigned device
 	state        taskState
+	wired        bool // dependencies linked into the tables
+	admitted     bool // inside the stream admission window
+	stallCounted bool // already charged one window stall
 	pendingFetch int
 	estExec      sim.Time // DMDAS bookkeeping
 	readyAt      sim.Time // instant the task entered a ready queue
@@ -116,12 +123,26 @@ type Task struct {
 // ID reports the task's submission index.
 func (t *Task) ID() int { return t.id }
 
-// Name reports the task's diagnostic name.
-func (t *Task) Name() string { return t.name }
+// Name reports the task's diagnostic name. Coherency and distribution tasks
+// derive it on demand: the hot submission path never builds strings.
+func (t *Task) Name() string {
+	switch t.kind {
+	case kindFlush:
+		return "flush " + t.acc[0].Tile.Key.String()
+	case kindPrefetch:
+		return "prefetch " + t.acc[0].Tile.Key.String()
+	default:
+		return t.name
+	}
+}
 
 func (t *Task) String() string {
-	return fmt.Sprintf("#%d %s %s", t.id, t.name, t.state.str())
+	return fmt.Sprintf("#%d %s %s", t.id, t.Name(), t.state.str())
 }
+
+// JobDone implements sim.JobDone: the task itself is its kernel-completion
+// callback, so launching a kernel allocates no closure.
+func (t *Task) JobDone(start, end sim.Time) { t.rt.completeKernel(t, start, end) }
 
 func (s taskState) str() string {
 	switch s {
