@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-cancel metrics-race stress check bench bench-alloc bench-bigN verify experiments experiments-quick examples fmt fmtcheck vet clean
+.PHONY: all build test race race-cancel metrics-race stress check topo-check bench bench-alloc bench-bigN verify experiments experiments-quick examples fmt fmtcheck vet clean
 
 all: check
 
@@ -40,9 +40,21 @@ stress:
 	$(GO) test -count=1 -run 'TestCacheCoherenceFuzz|TestCancelInflight' ./internal/cache/
 	$(GO) test -count=1 ./internal/check/
 
+# Fabric-graph gate: registry-wide Validate + legacy route/link-class
+# parity + randomized topology fuzz of Route/Validate, the golden sweep
+# parity files of all three legacy platforms, the per-hop contention tests,
+# and a full quick-sweep byte-diff against the committed results_quick.txt
+# (the routed graph must reproduce the legacy event order exactly).
+topo-check:
+	$(GO) test -count=1 -run 'TestLegacyRouteParity|TestLegacyLinkClassParity|TestRegistryMatrixSymmetry|TestRegistryUnknownAndNames|TestFabricFuzz' ./internal/topology/
+	$(GO) test -count=1 -run 'TestQPIContention|TestNICContention|TestHostRouteContention' ./internal/device/
+	$(GO) test -count=1 -run 'Golden' ./internal/bench/
+	$(GO) run ./cmd/xkbench -exp all -quick > .topo-check.quick.txt && \
+		diff -u results_quick.txt .topo-check.quick.txt && rm -f .topo-check.quick.txt
+
 # Default verification gate: build, vet, formatting, tests, stress, race,
-# and the steady-state allocation budget.
-check: build vet fmtcheck test stress race race-cancel metrics-race bench-alloc
+# the steady-state allocation budget and the fabric-graph parity gate.
+check: build vet fmtcheck test stress race race-cancel metrics-race bench-alloc topo-check
 
 # One testing.B benchmark per paper table/figure plus the ablations.
 bench:

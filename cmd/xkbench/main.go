@@ -45,10 +45,13 @@ import (
 	"xkblas/internal/blasops"
 	"xkblas/internal/check"
 	"xkblas/internal/metrics"
+	"xkblas/internal/topology"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1,fig2,fig3,table2,fig4,fig5,fig6,fig7,fig8,fig9,scale,summit,hermitian,pinning,factor,bign,sweep,all")
+	platformFlag := flag.String("platform", "",
+		"simulated platform from the topology registry (empty = the DGX-1 of the paper); an unknown name lists the registered platforms and exits nonzero")
 	quick := flag.Bool("quick", false, "reduced sizes and repetitions")
 	csvPath := flag.String("csv", "", "write sweep points as CSV to this path (sweep experiments only)")
 	libsFlag := flag.String("libs", "", "custom sweep (-exp sweep): comma-separated library names; empty = Fig. 5 roster")
@@ -79,6 +82,15 @@ func main() {
 	if *window < 0 {
 		fmt.Fprintf(os.Stderr, "xkbench: -window must be >= 0, got %d\n", *window)
 		os.Exit(2)
+	}
+	if *platformFlag != "" {
+		plat, ok := topology.Lookup(*platformFlag)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "xkbench: unknown platform %q; registered platforms: %s\n",
+				*platformFlag, strings.Join(topology.Names(), ", "))
+			os.Exit(2)
+		}
+		bench.DefaultPlatform = plat
 	}
 	bench.ForceStreamWindow = *window
 	bench.ForceStreamWhole = *streamWhole
@@ -331,7 +343,7 @@ func customSweep(w *os.File, libsSpec, routinesSpec, sizesSpec, tilesSpec string
 		for _, l := range bench.Roster() {
 			byName[l.Name()] = l
 		}
-		for _, l := range []baseline.Library{baseline.XKBlasNoHeuristic(), baseline.XKBlasNoHeuristicNoTopo()} {
+		for _, l := range []baseline.Library{baseline.XKBlasNoHeuristic(), baseline.XKBlasNoHeuristicNoTopo(), baseline.XKBlasNearest()} {
 			byName[l.Name()] = l
 		}
 		for _, name := range strings.Split(libsSpec, ",") {

@@ -19,6 +19,7 @@ import (
 	"xkblas/internal/metrics"
 	"xkblas/internal/policy"
 	"xkblas/internal/sim"
+	"xkblas/internal/topology"
 	"xkblas/internal/xkrt"
 )
 
@@ -54,7 +55,11 @@ type Config struct {
 	// ExtraTilesFor extends the candidates with {8192, 16384} for the
 	// named libraries (cuBLAS-XT and Slate in the paper).
 	ExtraTilesFor map[string]bool
-	Scenario      baseline.Scenario
+	// Platform selects the simulated platform every leaf run builds; nil
+	// falls back to the process-wide DefaultPlatform, and a nil result of
+	// that keeps the historical DGX-1 default (byte-identical output).
+	Platform *topology.Platform
+	Scenario baseline.Scenario
 	// Runs is the number of measured repetitions (after one discarded
 	// warm-up); the paper uses 8.
 	Runs int
@@ -112,6 +117,30 @@ var SweepContext context.Context
 // build their own Config internally (xkbench -exp); the -metrics flag sets
 // it process-wide.
 var MetricsEnabled bool
+
+// DefaultPlatform mirrors Config.Platform for the experiment drivers that
+// build their own Config/Request values internally (xkbench -exp); the
+// -platform flag sets it process-wide from the topology registry. nil keeps
+// the historical DGX-1 default and leaves every sweep byte-identical.
+var DefaultPlatform *topology.Platform
+
+// platformOf resolves a config's effective platform (nil means "let the
+// baseline layer default to the DGX-1").
+func platformOf(cfg Config) *topology.Platform {
+	if cfg.Platform != nil {
+		return cfg.Platform
+	}
+	return DefaultPlatform
+}
+
+// activePlatform resolves the process-wide platform selection for drivers
+// that need a concrete topology value (tables, bandwidth matrices).
+func activePlatform() *topology.Platform {
+	if DefaultPlatform != nil {
+		return DefaultPlatform
+	}
+	return topology.DGX1()
+}
 
 // ForceStreamWindow mirrors Config.StreamWindow for the experiment drivers
 // that build their own Config internally (xkbench -exp); the -window flag
@@ -238,6 +267,7 @@ func runRep(cfg Config, pool *baseline.HandlePool, lib baseline.Library, r blaso
 		Routine:      r,
 		N:            n,
 		NB:           nb,
+		Platform:     platformOf(cfg),
 		Scenario:     cfg.Scenario,
 		NoiseAmp:     cfg.NoiseAmp,
 		NoiseSeed:    int64(rep)*7919 + int64(n) + int64(nb),

@@ -54,14 +54,25 @@ func sweepDefaults(quick bool) Config {
 	return cfg
 }
 
-// TableI prints the platform characteristics table.
+// TableI prints the platform characteristics table. The historical DGX-1
+// wording is kept byte-identical when no -platform override is in force;
+// any other registered platform gets a generic rendering of the same
+// fields.
 func TableI(w io.Writer) {
-	p := topology.DGX1()
-	fmt.Fprintln(w, "Table I — Main characteristics of the DGX-1 multi-GPU system (simulated)")
-	fmt.Fprintln(w, "Name    CPU                              GPU")
-	fmt.Fprintf(w, "Gemini  2x Xeon E5-2698 v4 2.2GHz (model) %dx %s, %d GB, peak FP64 %.1f TFlop/s\n",
+	p := activePlatform()
+	if DefaultPlatform == nil {
+		fmt.Fprintln(w, "Table I — Main characteristics of the DGX-1 multi-GPU system (simulated)")
+		fmt.Fprintln(w, "Name    CPU                              GPU")
+		fmt.Fprintf(w, "Gemini  2x Xeon E5-2698 v4 2.2GHz (model) %dx %s, %d GB, peak FP64 %.1f TFlop/s\n",
+			p.NumGPUs, p.GPU.Name, p.GPU.MemoryBytes>>30, p.GPU.PeakFP64/1e12)
+		fmt.Fprintf(w, "Interconnect: NVLink-2 hybrid cube-mesh between GPUs; PCIe Gen3 x16 switches (%.1f GB/s, shared per GPU pair) to the host; QPI %.1f GB/s between sockets\n",
+			p.SwitchGBs, p.InterSocketGBs)
+		return
+	}
+	fmt.Fprintf(w, "Table I — Main characteristics of %s (simulated)\n", p.Name)
+	fmt.Fprintf(w, "GPUs: %dx %s, %d GB, peak FP64 %.1f TFlop/s\n",
 		p.NumGPUs, p.GPU.Name, p.GPU.MemoryBytes>>30, p.GPU.PeakFP64/1e12)
-	fmt.Fprintf(w, "Interconnect: NVLink-2 hybrid cube-mesh between GPUs; PCIe Gen3 x16 switches (%.1f GB/s, shared per GPU pair) to the host; QPI %.1f GB/s between sockets\n",
+	fmt.Fprintf(w, "Interconnect: host links %.1f GB/s shared per GPU pair; inter-socket %.1f GB/s\n",
 		p.SwitchGBs, p.InterSocketGBs)
 }
 
@@ -71,7 +82,8 @@ func TableI(w io.Writer) {
 // host).
 func Fig2BandwidthMatrix(w io.Writer) {
 	const payload = 256 << 20
-	n := topology.DGX1().NumGPUs
+	topo := activePlatform()
+	n := topo.NumGPUs
 	fmt.Fprintln(w, "Fig. 2 — measured bandwidth (GB/s) between devices (256 MiB payloads)")
 	fmt.Fprintf(w, "D\\D ")
 	for j := 0; j <= n; j++ {
@@ -101,7 +113,7 @@ func Fig2BandwidthMatrix(w io.Writer) {
 				continue
 			}
 			eng := sim.NewEngine()
-			plat := device.NewPlatform(eng, topology.DGX1())
+			plat := device.NewPlatform(eng, topo)
 			var dur sim.Time
 			plat.Transfer(src, dst, payload, func(st, en sim.Time) { dur = en - st })
 			eng.Run()
@@ -236,7 +248,7 @@ func Fig6(w io.Writer, quick bool) {
 	}
 	fmt.Fprintln(w, "  | normalized ratios")
 	for _, lib := range fig6Libs() {
-		res := lib.Run(baseline.Request{Routine: blasops.Gemm, N: n, NB: 4096, Trace: true, Check: CheckRuns, Ctx: SweepContext})
+		res := lib.Run(baseline.Request{Routine: blasops.Gemm, N: n, NB: 4096, Platform: DefaultPlatform, Trace: true, Check: CheckRuns, Ctx: SweepContext})
 		if res.Err != nil {
 			fmt.Fprintf(w, "%-16s ERROR: %v\n", lib.Name(), res.Err)
 			continue
@@ -266,7 +278,7 @@ func Fig7(w io.Writer, quick bool) {
 	fmt.Fprintf(w, "Fig. 7 — SYR2K FP64 per-GPU trace at N=%d (seconds per operation kind)\n", n)
 	libs := []baseline.Library{baseline.ChameleonTile(), baseline.CuBLASXT(), baseline.XKBlas()}
 	for _, lib := range libs {
-		res := lib.Run(baseline.Request{Routine: blasops.Syr2k, N: n, NB: 2048, Trace: true, Check: CheckRuns, Ctx: SweepContext})
+		res := lib.Run(baseline.Request{Routine: blasops.Syr2k, N: n, NB: 2048, Platform: DefaultPlatform, Trace: true, Check: CheckRuns, Ctx: SweepContext})
 		if res.Err != nil {
 			fmt.Fprintf(w, "%s: ERROR %v\n", lib.Name(), res.Err)
 			continue
@@ -300,7 +312,7 @@ func Fig8(w io.Writer, quick bool) {
 	for _, lib := range libs {
 		comp := lib.(baseline.Composer)
 		for _, n := range sizes {
-			res := comp.RunComposition(baseline.Request{Routine: blasops.Gemm, N: n, NB: 2048, Check: CheckRuns, Ctx: SweepContext})
+			res := comp.RunComposition(baseline.Request{Routine: blasops.Gemm, N: n, NB: 2048, Platform: DefaultPlatform, Check: CheckRuns, Ctx: SweepContext})
 			if res.Err != nil {
 				fmt.Fprintf(w, "%-16s N=%-6d ERROR: %v\n", lib.Name(), n, res.Err)
 				continue
@@ -323,7 +335,7 @@ func Fig9(w io.Writer, quick bool) {
 	libs := []baseline.Library{baseline.ChameleonTile(), baseline.XKBlas()}
 	for _, lib := range libs {
 		res := lib.(baseline.Composer).RunComposition(baseline.Request{
-			Routine: blasops.Gemm, N: n, NB: 2048, Trace: true, Check: CheckRuns, Ctx: SweepContext})
+			Routine: blasops.Gemm, N: n, NB: 2048, Platform: DefaultPlatform, Trace: true, Check: CheckRuns, Ctx: SweepContext})
 		if res.Err != nil {
 			fmt.Fprintf(w, "%s: ERROR %v\n", lib.Name(), res.Err)
 			continue

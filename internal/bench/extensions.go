@@ -111,14 +111,22 @@ func SummitPrediction(w io.Writer, quick bool) {
 	fmt.Fprintf(w, "Extension — heuristic gains by platform (DGEMM N=%d, vs no-heuristic-no-topo)\n", n)
 	fmt.Fprintf(w, "%-34s %12s %12s %12s\n", "platform", "full GF/s", "ablated GF/s", "total gain")
 	cfg := Config{Tiles: []int{2048}, Runs: runs, NoiseAmp: 0.02, Parallel: DefaultParallelism}
-	for _, pc := range []struct {
+	rows := []struct {
 		name string
 		plat *topology.Platform
 	}{
 		{"DGX-1 (cube-mesh, PCIe host)", topology.DGX1()},
 		{"DGX-2 (NVSwitch, PCIe host)", topology.DGX2WithGPUs(8)},
 		{"Summit node (NVLink host)", topology.SummitNode()},
-	} {
+	}
+	if DefaultPlatform != nil {
+		// A -platform override joins the comparison as a fourth row.
+		rows = append(rows, struct {
+			name string
+			plat *topology.Platform
+		}{DefaultPlatform.Name, DefaultPlatform})
+	}
+	for _, pc := range rows {
 		on := measureOn(cfg, baseline.XKBlas(), blasops.Gemm, n, pc.plat)
 		off := measureOn(cfg, baseline.XKBlasNoHeuristicNoTopo(), blasops.Gemm, n, pc.plat)
 		gain := 0.0
@@ -127,10 +135,16 @@ func SummitPrediction(w io.Writer, quick bool) {
 		}
 		fmt.Fprintf(w, "%-34s %12.1f %12.1f %+11.1f%%\n", pc.name, on, off, gain)
 	}
-	// Per-heuristic split on DGX-1 (the Fig. 3 decomposition at one size).
-	onD := measureOn(cfg, baseline.XKBlas(), blasops.Gemm, n, topology.DGX1())
-	noH := measureOn(cfg, baseline.XKBlasNoHeuristic(), blasops.Gemm, n, topology.DGX1())
-	fmt.Fprintf(w, "DGX-1 optimistic-only contribution: %+5.1f%%\n", 100*(onD/noH-1))
+	// Per-heuristic split on the active platform (the Fig. 3 decomposition
+	// at one size; DGX-1 unless -platform overrides).
+	split := activePlatform()
+	label := "DGX-1"
+	if DefaultPlatform != nil {
+		label = split.Name
+	}
+	onD := measureOn(cfg, baseline.XKBlas(), blasops.Gemm, n, split)
+	noH := measureOn(cfg, baseline.XKBlasNoHeuristic(), blasops.Gemm, n, split)
+	fmt.Fprintf(w, "%s optimistic-only contribution: %+5.1f%%\n", label, 100*(onD/noH-1))
 }
 
 // Hermitian measures the complex routines (ZGEMM, HEMM, HERK, HER2K) on
@@ -178,7 +192,7 @@ func Factorizations(w io.Writer, quick bool) {
 // measureFactor runs one factorization in timing mode; panelSync inserts a
 // barrier after each panel's tasks (fork-join style).
 func measureFactor(r blasops.Routine, n, nb int, panelSync bool) float64 {
-	h := core.NewHandle(core.Config{TileSize: nb})
+	h := core.NewHandle(core.Config{Platform: DefaultPlatform, TileSize: nb})
 	A := h.Register(matrix.NewShape(n, n))
 	t0 := h.Now()
 	submit := func(m *xkrt.Matrix) {
@@ -230,7 +244,7 @@ func PinningCost(w io.Writer, quick bool) {
 }
 
 func measureGemmPinning(n, nb int, chargePin bool) float64 {
-	h := core.NewHandle(core.Config{TileSize: nb})
+	h := core.NewHandle(core.Config{Platform: DefaultPlatform, TileSize: nb})
 	a := h.Register(matrix.NewShape(n, n))
 	b := h.Register(matrix.NewShape(n, n))
 	c := h.Register(matrix.NewShape(n, n))
@@ -252,7 +266,7 @@ func measureGemmPinning(n, nb int, chargePin bool) float64 {
 }
 
 func measureHermitian(r blasops.Routine, n, nb int) float64 {
-	h := core.NewHandle(core.Config{TileSize: nb})
+	h := core.NewHandle(core.Config{Platform: DefaultPlatform, TileSize: nb})
 	z := func() *xkrt.Matrix { return h.RegisterZ(matrix.NewZShape(n, n)) }
 	t0 := h.Now()
 	switch r {

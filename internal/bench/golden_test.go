@@ -9,6 +9,7 @@ import (
 
 	"xkblas/internal/baseline"
 	"xkblas/internal/blasops"
+	"xkblas/internal/topology"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden parity CSV from the current simulator output")
@@ -82,4 +83,58 @@ func TestGoldenSweepParity(t *testing.T) {
 		}
 	}
 	t.Fatal("simulated timings drifted from the golden CSV; if intentional, regenerate with -update")
+}
+
+// TestGoldenPlatformParity locks the routed timings of the other two legacy
+// platforms the fabric graph rebuilt (DGX-2's flat NVSwitch crossbar and the
+// Summit node's NVLink-host triplets): a reduced sweep per platform is
+// compared byte-for-byte against its golden CSV. Together with
+// TestGoldenSweepParity (DGX-1) this is the proof that the declarative
+// fabric specs reproduce the legacy link tables' event order exactly.
+func TestGoldenPlatformParity(t *testing.T) {
+	for _, tc := range []struct {
+		file string
+		plat *topology.Platform
+	}{
+		{"golden_dgx2.csv", topology.DGX2WithGPUs(8)},
+		{"golden_summit.csv", topology.SummitNode()},
+	} {
+		t.Run(tc.file, func(t *testing.T) {
+			cfg := Config{
+				Libs: []baseline.Library{
+					baseline.XKBlas(),
+					baseline.XKBlasNoHeuristicNoTopo(),
+					baseline.CuBLASXT(),
+				},
+				Routines: []blasops.Routine{blasops.Gemm, blasops.Trsm},
+				Sizes:    []int{8192},
+				Tiles:    []int{2048},
+				Platform: tc.plat,
+				Runs:     2,
+				NoiseAmp: 0.02,
+				Parallel: DefaultParallelism,
+			}
+			points := RunSweep(cfg)
+			var buf bytes.Buffer
+			if err := WriteCSV(&buf, points); err != nil {
+				t.Fatalf("WriteCSV: %v", err)
+			}
+			path := filepath.Join("testdata", tc.file)
+			if *updateGolden {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d points)", path, len(points))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create it): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("%s timings drifted from the golden CSV; if intentional, regenerate with -update\ngolden:\n%s\ngot:\n%s",
+					tc.plat.Name, want, buf.Bytes())
+			}
+		})
+	}
 }

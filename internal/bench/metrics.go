@@ -73,6 +73,7 @@ var metricsTableCols = []struct{ header, name string }{
 	{"nvl_bytes", "class.nvlink.bytes"},
 	{"pcie_bytes", "class.pcie.bytes"},
 	{"qpi_bytes", "class.qpi.bytes"},
+	{"net_bytes", "class.net.bytes"},
 	{"hits", "cache.hits"},
 	{"misses", "cache.misses"},
 }

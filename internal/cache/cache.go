@@ -184,6 +184,16 @@ type Stats struct {
 	H2DCount, D2HCount, P2PCount int64
 	Evictions                    int64
 	Hits, Misses, InflightWaits  int64
+
+	// RouteBytes/RouteCount key the same traffic by the link class of the
+	// routed fabric path each transfer crossed (the class of its slowest
+	// charged hop): host transfers land in the class of their host route
+	// (PCIe on a DGX-1, NVLink-host on Summit, Net from a remote node of a
+	// multi-node fleet), peer transfers in their peer-route class. The
+	// arrays are fixed-shape so snapshots of different platforms stay
+	// comparable.
+	RouteBytes [topology.LinkKindCount]int64
+	RouteCount [topology.LinkKindCount]int64
 }
 
 // Cache is the multi-GPU software cache.
@@ -328,6 +338,12 @@ func (c *Cache) PublishMetrics(reg *metrics.Registry) {
 	reg.Counter("cache.d2h.count").Store(s.D2HCount)
 	reg.Counter("cache.p2p.bytes").Store(s.P2PBytes)
 	reg.Counter("cache.p2p.count").Store(s.P2PCount)
+	// Route-class rollups publish every kind, zeros included, so snapshot
+	// shape is platform-independent and deterministic.
+	for k := topology.LinkNone + 1; k < topology.LinkKindCount; k++ {
+		reg.Counter("cache.route." + k.MetricName() + ".bytes").Store(s.RouteBytes[k])
+		reg.Counter("cache.route." + k.MetricName() + ".count").Store(s.RouteCount[k])
+	}
 	reg.Gauge("cache.tiles_live_max").Set(float64(c.tilesLiveMax))
 }
 
@@ -686,6 +702,7 @@ func (c *Cache) completeTransfer(t *Tile, src, dst topology.DeviceID, kind Trans
 		c.stats.P2PBytes += t.Bytes
 		c.stats.P2PCount++
 	}
+	c.noteRoute(src, dst, t.Bytes)
 	if c.Observer != nil {
 		c.Observer.OnTransfer(kind, src, dst, t.Bytes, c.serviceStart(src, dst, t.Bytes, start, end), end)
 	}
@@ -702,6 +719,14 @@ func (c *Cache) completeTransfer(t *Tile, src, dst topology.DeviceID, kind Trans
 	// that pops this very record from the pool, and recycling early would
 	// let it scribble over the waiters slice mid-iteration.
 	c.recycleInflight(inf)
+}
+
+// noteRoute counts a completed transfer against the link class of the
+// routed path it crossed.
+func (c *Cache) noteRoute(src, dst topology.DeviceID, bytes int64) {
+	k := c.Plat.Topo.Link(src, dst).Kind
+	c.stats.RouteBytes[k] += bytes
+	c.stats.RouteCount[k]++
 }
 
 // serviceStart converts a transfer's [queued-start, delivery-end] interval
@@ -858,6 +883,7 @@ func (c *Cache) FlushToHost(t *Tile, done func()) {
 		}
 		c.stats.D2HBytes += t.Bytes
 		c.stats.D2HCount++
+		c.noteRoute(dev, topology.Host, t.Bytes)
 		if c.Observer != nil {
 			c.Observer.OnTransfer(DeviceToHost, dev, topology.Host, t.Bytes,
 				c.serviceStart(dev, topology.Host, t.Bytes, start, end), end)

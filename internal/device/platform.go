@@ -31,12 +31,15 @@ type GPU struct {
 
 	// Kernel is the serial kernel stream: large BLAS tiles saturate the
 	// SMs, so concurrent kernels on one GPU gain almost nothing and the
-	// paper's libraries effectively serialize them per device.
+	// paper's libraries effectively serialize them per device. Its rate is
+	// the GPU's own spec (heterogeneous fleets mix peak rates and
+	// sustained efficiencies).
 	Kernel *sim.Server
 
 	// H2D and D2H are the DMA copy engines for host transfers; V100 copy
 	// engines are independent per direction, which is what lets XKaapi run
-	// each operation type on its own stream (§II-B).
+	// each operation type on its own stream (§II-B). They are the fabric
+	// graph's HostDMA edges.
 	H2D sim.Resource
 	D2H sim.Resource
 
@@ -54,7 +57,9 @@ type GPU struct {
 // explicit so the assumption can be tested.
 const PinRateGBs = 5.0
 
-// Platform is a live simulated multi-GPU node.
+// Platform is a live simulated multi-GPU node: one contended resource per
+// physical fabric edge, with routes precomputed from the topology's fabric
+// graph so every transfer charges every hop of its path.
 type Platform struct {
 	Eng   *sim.Engine
 	Topo  *topology.Platform
@@ -68,21 +73,19 @@ type Platform struct {
 	// Links reports the active link model.
 	Links LinkModel
 
-	// nvOut[src][dst] is the directed NVLink resource for pairs connected
-	// by NVLink (nil otherwise).
-	nvOut [][]sim.Resource
-	// Per-PCIe-switch uplink resources, one per direction.
-	switchUp   []sim.Resource
-	switchDown []sim.Resource
-	// Inter-socket link per direction: qpi[srcSocket] carries
-	// srcSocket -> other socket traffic.
-	qpi []sim.Resource
+	// linkRes[e.ID] is the contended resource realizing fabric edge e
+	// (nil for virtual edges).
+	linkRes []sim.Resource
+	// routes[src+1][dst+1] is the precomputed hop list of the routed path
+	// (diagonal entries route over the local copy engine).
+	routes [][][]sim.Resource
 
 	// resources is every contended resource of the node tagged with its
 	// class, in the deterministic construction order (kernels and copy
-	// engines per GPU id, then NVLinks, PCIe switches, QPI, pinner). The
-	// metrics layer walks it to publish per-resource utilization and the
-	// per-class rollups of Table 3.
+	// engines per GPU id, then the remaining fabric edges in declaration
+	// order — NVLinks, PCIe switches, QPI, inter-node network — then the
+	// pinner). The metrics layer walks it to publish per-resource
+	// utilization and the per-class rollups of Table 3.
 	resources []ClassedResource
 }
 
@@ -98,6 +101,7 @@ const (
 	ClassNVLink
 	ClassPCIe
 	ClassQPI
+	ClassNet
 	ClassPin
 	numResourceClasses
 )
@@ -119,10 +123,32 @@ func (c ResourceClass) String() string {
 		return "pcie"
 	case ClassQPI:
 		return "qpi"
+	case ClassNet:
+		return "net"
 	case ClassPin:
 		return "pin"
 	default:
 		return "unknown"
+	}
+}
+
+// classOfEdge maps a fabric edge class to its metrics resource class.
+func classOfEdge(c topology.EdgeClass) ResourceClass {
+	switch c {
+	case topology.EdgeH2D:
+		return ClassH2D
+	case topology.EdgeD2H:
+		return ClassD2H
+	case topology.EdgeNVLink:
+		return ClassNVLink
+	case topology.EdgePCIe:
+		return ClassPCIe
+	case topology.EdgeQPI:
+		return ClassQPI
+	case topology.EdgeNet:
+		return ClassNet
+	default:
+		return ClassPCIe
 	}
 }
 
@@ -158,39 +184,34 @@ func NewPlatformWithLinks(eng *sim.Engine, topo *topology.Platform, links LinkMo
 		return sim.NewServer(eng, name, rate)
 	}
 	gb := 1e9
+	edges := topo.Edges()
+	p.linkRes = make([]sim.Resource, len(edges))
 	for _, id := range topo.GPUs() {
-		hostBW := topo.Link(topology.Host, id).BandwidthGBs * gb
+		spec := topo.GPUSpecOf(id)
+		rate := spec.PeakFP64
+		if spec.KernelEff != 0 && spec.KernelEff != 1 {
+			rate *= spec.KernelEff
+		}
+		h2dE, d2hE := topo.HostDMAEdges(id)
 		g := &GPU{
 			ID:     id,
-			Kernel: sim.NewServer(eng, fmt.Sprintf("gpu%d.kernel", id), topo.GPU.PeakFP64),
-			H2D:    mkLink(fmt.Sprintf("gpu%d.h2d", id), hostBW),
-			D2H:    mkLink(fmt.Sprintf("gpu%d.d2h", id), hostBW),
-			Local:  mkLink(fmt.Sprintf("gpu%d.local", id), topo.GPU.LocalCopyGBs*gb),
-			Mem:    NewMemPool(topo.GPU.MemoryBytes),
+			Kernel: sim.NewServer(eng, fmt.Sprintf("gpu%d.kernel", id), rate),
+			H2D:    mkLink(h2dE.Name, h2dE.BandwidthGBs*gb),
+			D2H:    mkLink(d2hE.Name, d2hE.BandwidthGBs*gb),
+			Local:  mkLink(fmt.Sprintf("gpu%d.local", id), spec.LocalCopyGBs*gb),
+			Mem:    NewMemPool(spec.MemoryBytes),
 		}
+		p.linkRes[h2dE.ID] = g.H2D
+		p.linkRes[d2hE.ID] = g.D2H
 		p.GPUs = append(p.GPUs, g)
 	}
-	n := topo.NumGPUs
-	p.nvOut = make([][]sim.Resource, n)
-	for i := 0; i < n; i++ {
-		p.nvOut[i] = make([]sim.Resource, n)
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
-			}
-			l := topo.GPULink(topology.DeviceID(i), topology.DeviceID(j))
-			if l.Kind == topology.LinkNVLink2 || l.Kind == topology.LinkNVLink1 ||
-				l.Kind == topology.LinkNVLinkHost {
-				p.nvOut[i][j] = mkLink(fmt.Sprintf("nvlink.%d->%d", i, j), l.BandwidthGBs*gb)
-			}
+	// One contended resource per remaining physical fabric edge, in
+	// declaration order.
+	for _, e := range edges {
+		if e.Class == topology.EdgeVirtual || p.linkRes[e.ID] != nil {
+			continue
 		}
-	}
-	for s := 0; s < topo.NumPCIeSwitches(); s++ {
-		p.switchUp = append(p.switchUp, mkLink(fmt.Sprintf("pcie%d.up", s), topo.SwitchGBs*gb))
-		p.switchDown = append(p.switchDown, mkLink(fmt.Sprintf("pcie%d.down", s), topo.SwitchGBs*gb))
-	}
-	for s := 0; s < topo.NumSockets(); s++ {
-		p.qpi = append(p.qpi, mkLink(fmt.Sprintf("qpi.%d->", s), topo.InterSocketGBs*gb))
+		p.linkRes[e.ID] = mkLink(e.Name, e.BandwidthGBs*gb)
 	}
 	for _, g := range p.GPUs {
 		p.resources = append(p.resources,
@@ -199,22 +220,36 @@ func NewPlatformWithLinks(eng *sim.Engine, topo *topology.Platform, links LinkMo
 			ClassedResource{ClassD2H, g.D2H},
 			ClassedResource{ClassLocal, g.Local})
 	}
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if nv := p.nvOut[i][j]; nv != nil {
-				p.resources = append(p.resources, ClassedResource{ClassNVLink, nv})
-			}
+	for _, e := range edges {
+		if e.Class == topology.EdgeVirtual || e.HostDMA {
+			continue
 		}
-	}
-	for s := range p.switchUp {
-		p.resources = append(p.resources,
-			ClassedResource{ClassPCIe, p.switchUp[s]},
-			ClassedResource{ClassPCIe, p.switchDown[s]})
-	}
-	for _, q := range p.qpi {
-		p.resources = append(p.resources, ClassedResource{ClassQPI, q})
+		p.resources = append(p.resources, ClassedResource{classOfEdge(e.Class), p.linkRes[e.ID]})
 	}
 	p.resources = append(p.resources, ClassedResource{ClassPin, p.Pinner})
+
+	// Precompute every route's hop list so the transfer hot path never
+	// allocates and every transfer charges every hop of its fabric path.
+	n := topo.NumGPUs
+	p.routes = make([][][]sim.Resource, n+1)
+	for si := 0; si <= n; si++ {
+		p.routes[si] = make([][]sim.Resource, n+1)
+		for di := 0; di <= n; di++ {
+			src, dst := topology.DeviceID(si-1), topology.DeviceID(di-1)
+			if src == dst {
+				if src != topology.Host {
+					p.routes[si][di] = []sim.Resource{p.GPUs[src].Local}
+				}
+				continue
+			}
+			path := topo.Route(src, dst)
+			hops := make([]sim.Resource, len(path.Hops))
+			for k, e := range path.Hops {
+				hops[k] = p.linkRes[e.ID]
+			}
+			p.routes[si][di] = hops
+		}
+	}
 	return p
 }
 
@@ -237,35 +272,17 @@ func (p *Platform) Reset() {
 	}
 }
 
-// Route returns the ordered resource hops a transfer src→dst crosses. Every
-// hop queues the full payload; completion is the latest hop completion (see
-// sim.Transfer). dst == src routes over the local copy engine.
+// Route returns the ordered resource hops a transfer src→dst crosses: the
+// charged hops of the topology's routed path, DMA engines first. Every hop
+// queues the full payload; completion is the latest hop completion (see
+// sim.Transfer). dst == src routes over the local copy engine. Callers
+// must not mutate the returned slice.
 func (p *Platform) Route(src, dst topology.DeviceID) []sim.Resource {
-	switch {
-	case src == dst:
-		if src == topology.Host {
-			panic("device: host-to-host transfer")
-		}
-		return []sim.Resource{p.GPUs[src].Local}
-	case src == topology.Host:
-		g := p.GPUs[dst]
-		return []sim.Resource{g.H2D, p.switchDown[p.Topo.PCIeSwitchOf(dst)]}
-	case dst == topology.Host:
-		g := p.GPUs[src]
-		return []sim.Resource{g.D2H, p.switchUp[p.Topo.PCIeSwitchOf(src)]}
-	default:
-		if nv := p.nvOut[src][dst]; nv != nil {
-			return []sim.Resource{nv}
-		}
-		// PCIe peer route: out through the source switch, across sockets
-		// if needed, in through the destination switch.
-		hops := []sim.Resource{p.switchUp[p.Topo.PCIeSwitchOf(src)]}
-		ss, ds := p.Topo.SocketOfSwitch(p.Topo.PCIeSwitchOf(src)), p.Topo.SocketOfSwitch(p.Topo.PCIeSwitchOf(dst))
-		if ss != ds {
-			hops = append(hops, p.qpi[ss])
-		}
-		return append(hops, p.switchDown[p.Topo.PCIeSwitchOf(dst)])
+	hops := p.routes[int(src)+1][int(dst)+1]
+	if hops == nil {
+		panic("device: host-to-host transfer")
 	}
+	return hops
 }
 
 // Transfer moves bytes from src to dst, firing done(start,end) when the

@@ -35,10 +35,12 @@ import (
 type Decisions struct {
 	// Transfer sources by link class of the chosen route (the ranking
 	// order of §III-B): double NVLink, single NVLink (or NVLink-to-host on
-	// POWER9 nodes), PCIe peer-to-peer, and host memory over PCIe.
+	// POWER9 nodes), PCIe peer-to-peer, peer routes crossing the
+	// inter-node network of a multi-node fabric, and host memory.
 	SrcNVLink2 int64
 	SrcNVLink1 int64
 	SrcPCIeP2P int64
+	SrcNet     int64
 	SrcHost    int64
 
 	// Optimistic-forwarding outcomes (§III-C): ChainsTaken counts fetches
@@ -72,6 +74,7 @@ type Counters struct {
 	SrcNVLink2 *metrics.Counter
 	SrcNVLink1 *metrics.Counter
 	SrcPCIeP2P *metrics.Counter
+	SrcNet     *metrics.Counter
 	SrcHost    *metrics.Counter
 
 	ChainsTaken  *metrics.Counter
@@ -91,6 +94,7 @@ func NewCounters(reg *metrics.Registry) *Counters {
 		SrcNVLink2:        reg.Counter("policy.src.nvlink2"),
 		SrcNVLink1:        reg.Counter("policy.src.nvlink1"),
 		SrcPCIeP2P:        reg.Counter("policy.src.pcie_p2p"),
+		SrcNet:            reg.Counter("policy.src.net"),
 		SrcHost:           reg.Counter("policy.src.host"),
 		ChainsTaken:       reg.Counter("policy.chain.taken"),
 		ChainsMissed:      reg.Counter("policy.chain.missed"),
@@ -110,6 +114,7 @@ func (c *Counters) Snapshot() Decisions {
 		SrcNVLink2:        c.SrcNVLink2.Value(),
 		SrcNVLink1:        c.SrcNVLink1.Value(),
 		SrcPCIeP2P:        c.SrcPCIeP2P.Value(),
+		SrcNet:            c.SrcNet.Value(),
 		SrcHost:           c.SrcHost.Value(),
 		ChainsTaken:       c.ChainsTaken.Value(),
 		ChainsMissed:      c.ChainsMissed.Value(),
@@ -149,6 +154,8 @@ func (c *Counters) CountTransfer(topo *topology.Platform, src, dst topology.Devi
 		c.SrcNVLink2.Add(1)
 	case topology.LinkNVLink1, topology.LinkNVLinkHost:
 		c.SrcNVLink1.Add(1)
+	case topology.LinkNet:
+		c.SrcNet.Add(1)
 	default:
 		c.SrcPCIeP2P.Add(1)
 	}
@@ -159,6 +166,7 @@ func (d *Decisions) Add(other Decisions) {
 	d.SrcNVLink2 += other.SrcNVLink2
 	d.SrcNVLink1 += other.SrcNVLink1
 	d.SrcPCIeP2P += other.SrcPCIeP2P
+	d.SrcNet += other.SrcNet
 	d.SrcHost += other.SrcHost
 	d.ChainsTaken += other.ChainsTaken
 	d.ChainsMissed += other.ChainsMissed
@@ -170,13 +178,13 @@ func (d *Decisions) Add(other Decisions) {
 
 // Transfers reports the total number of counted transfer-source decisions.
 func (d Decisions) Transfers() int64 {
-	return d.SrcNVLink2 + d.SrcNVLink1 + d.SrcPCIeP2P + d.SrcHost
+	return d.SrcNVLink2 + d.SrcNVLink1 + d.SrcPCIeP2P + d.SrcNet + d.SrcHost
 }
 
 func (d Decisions) String() string {
 	return fmt.Sprintf(
-		"src{nv2:%d nv1:%d pcie:%d host:%d} chain{taken:%d missed:%d} evict{clean:%d dirty-skip:%d} sched{owner:%d steal:%d}",
-		d.SrcNVLink2, d.SrcNVLink1, d.SrcPCIeP2P, d.SrcHost,
+		"src{nv2:%d nv1:%d pcie:%d net:%d host:%d} chain{taken:%d missed:%d} evict{clean:%d dirty-skip:%d} sched{owner:%d steal:%d}",
+		d.SrcNVLink2, d.SrcNVLink1, d.SrcPCIeP2P, d.SrcNet, d.SrcHost,
 		d.ChainsTaken, d.ChainsMissed,
 		d.EvictClean, d.EvictDirtySkipped,
 		d.OwnerHits, d.Steals)

@@ -3,7 +3,8 @@ package topology
 // DGX-1 hybrid cube-mesh (paper Fig. 1 and Fig. 2). Each V100 has six NVLink
 // bricks; on the DGX-1 they are wired so that every GPU reaches three peers
 // over 2×NVLink (~96 GB/s measured), one peer over 1×NVLink (~48 GB/s), and
-// the remaining three peers only over PCIe (~17 GB/s once QPI is crossed).
+// the remaining three peers only over the PCIe fabric (switch uplink, QPI
+// when crossing sockets, switch downlink — each a contended hop).
 //
 // GPU pairs {0,1}, {2,3}, {4,5}, {6,7} each share one PCIe Gen3 x16 switch
 // (~16 GB/s per direction to the host); switches {0,1} hang off CPU socket 0
@@ -24,7 +25,6 @@ var nvlink1Pairs = [][2]int{
 const (
 	dgx1NVLink2GBs   = 96.4
 	dgx1NVLink1GBs   = 48.4
-	dgx1PCIeP2PGBs   = 17.3 // cross-switch / cross-socket peer route
 	dgx1HostLinkGBs  = 12.0 // effective pinned H2D/D2H per GPU stream
 	dgx1SwitchGBs    = 15.8 // PCIe Gen3 x16 switch uplink, shared by 2 GPUs
 	dgx1QPIGBs       = 19.2
@@ -39,6 +39,43 @@ var V100SXM2 = GPUSpec{
 	LocalCopyGBs: dgx1LocalCopyGBs,
 }
 
+// dgx1Node declares the DGX-1 fabric restricted to its first n GPUs: GPU
+// pairs share PCIe switches, switch pairs share sockets, and the cube-mesh
+// NVLink pairs connect GPUs directly.
+func dgx1Node(n int) NodeSpec {
+	nd := NodeSpec{
+		GPUs:       n,
+		GPU:        V100SXM2,
+		HostLink:   Link{Kind: LinkPCIe, BandwidthGBs: dgx1HostLinkGBs},
+		SwitchLink: Link{Kind: LinkPCIe, BandwidthGBs: dgx1SwitchGBs},
+		SocketLink: Link{Kind: LinkPCIe, BandwidthGBs: dgx1QPIGBs},
+	}
+	nd.SwitchOfGPU = make([]int, n)
+	numSwitch := 0
+	for i := 0; i < n; i++ {
+		nd.SwitchOfGPU[i] = i / 2
+		if nd.SwitchOfGPU[i]+1 > numSwitch {
+			numSwitch = nd.SwitchOfGPU[i] + 1
+		}
+	}
+	nd.SocketOfSwitch = make([]int, numSwitch)
+	for s := 0; s < numSwitch; s++ {
+		nd.SocketOfSwitch[s] = s / 2
+	}
+	addPairs := func(pairs [][2]int, kind LinkKind, bw float64) {
+		for _, pr := range pairs {
+			if pr[0] >= n || pr[1] >= n {
+				continue
+			}
+			nd.Peers = append(nd.Peers, PeerLink{A: pr[0], B: pr[1],
+				Link: Link{Kind: kind, BandwidthGBs: bw}})
+		}
+	}
+	addPairs(nvlink2Pairs, LinkNVLink2, dgx1NVLink2GBs)
+	addPairs(nvlink1Pairs, LinkNVLink1, dgx1NVLink1GBs)
+	return nd
+}
+
 // DGX1 returns the 8-GPU NVIDIA DGX-1 platform of the paper.
 func DGX1() *Platform { return DGX1WithGPUs(8) }
 
@@ -49,57 +86,7 @@ func DGX1WithGPUs(n int) *Platform {
 	if n < 1 || n > 8 {
 		panic("topology: DGX-1 has 1..8 GPUs")
 	}
-	p := &Platform{
-		Name:           "NVIDIA DGX-1 (V100)",
-		GPU:            V100SXM2,
-		NumGPUs:        n,
-		SwitchGBs:      dgx1SwitchGBs,
-		InterSocketGBs: dgx1QPIGBs,
-	}
-	p.links = make([][]Link, n)
-	for i := range p.links {
-		p.links[i] = make([]Link, n)
-		for j := range p.links[i] {
-			if i != j {
-				p.links[i][j] = Link{Kind: LinkPCIe, BandwidthGBs: dgx1PCIeP2PGBs}
-			}
-		}
-	}
-	set := func(pairs [][2]int, kind LinkKind, bw float64) {
-		for _, pr := range pairs {
-			a, b := pr[0], pr[1]
-			if a >= n || b >= n {
-				continue
-			}
-			p.links[a][b] = Link{Kind: kind, BandwidthGBs: bw}
-			p.links[b][a] = Link{Kind: kind, BandwidthGBs: bw}
-		}
-	}
-	set(nvlink2Pairs, LinkNVLink2, dgx1NVLink2GBs)
-	set(nvlink1Pairs, LinkNVLink1, dgx1NVLink1GBs)
-
-	p.hostLinks = make([]Link, n)
-	p.gpuToHost = make([]Link, n)
-	p.pcieSwitch = make([]int, n)
-	maxSwitch := 0
-	for i := 0; i < n; i++ {
-		p.hostLinks[i] = Link{Kind: LinkPCIe, BandwidthGBs: dgx1HostLinkGBs}
-		p.gpuToHost[i] = Link{Kind: LinkPCIe, BandwidthGBs: dgx1HostLinkGBs}
-		p.pcieSwitch[i] = i / 2
-		if p.pcieSwitch[i] > maxSwitch {
-			maxSwitch = p.pcieSwitch[i]
-		}
-	}
-	p.numSwitch = maxSwitch + 1
-	p.socketOf = make([]int, p.numSwitch)
-	for s := 0; s < p.numSwitch; s++ {
-		p.socketOf[s] = s / 2
-	}
-	p.numSockets = p.socketOf[p.numSwitch-1] + 1
-	if err := p.Validate(); err != nil {
-		panic(err)
-	}
-	return p
+	return MustBuild("NVIDIA DGX-1 (V100)", []NodeSpec{dgx1Node(n)}, Link{})
 }
 
 // DGX-2: 16 V100 GPUs joined by NVSwitch — a non-blocking crossbar giving
@@ -107,6 +94,9 @@ func DGX1WithGPUs(n int) *Platform {
 // The interconnect is flat: every peer route has the same kind and rank,
 // so the topology-aware heuristic has nothing to rank (all sources tie)
 // while the optimistic heuristic still pays off (host links remain PCIe).
+// Modelled with pairwise full-bandwidth links (the crossbar is
+// non-blocking, so per-pair contention matches the hardware); contrast
+// DGXA100, which models the shared plane with contended per-GPU ports.
 const (
 	dgx2NVSwitchGBs = 135.0
 	dgx2HostLinkGBs = 12.0
@@ -121,49 +111,35 @@ func DGX2WithGPUs(n int) *Platform {
 	if n < 1 || n > 16 {
 		panic("topology: DGX-2 has 1..16 GPUs")
 	}
-	p := &Platform{
-		Name:           "NVIDIA DGX-2 (V100, NVSwitch)",
-		GPU:            V100SXM2,
-		NumGPUs:        n,
-		SwitchGBs:      dgx2SwitchGBs,
-		InterSocketGBs: dgx1QPIGBs,
+	nd := NodeSpec{
+		GPUs:       n,
+		GPU:        V100SXM2,
+		HostLink:   Link{Kind: LinkPCIe, BandwidthGBs: dgx2HostLinkGBs},
+		SwitchLink: Link{Kind: LinkPCIe, BandwidthGBs: dgx2SwitchGBs},
+		SocketLink: Link{Kind: LinkPCIe, BandwidthGBs: dgx1QPIGBs},
 	}
-	p.links = make([][]Link, n)
-	for i := range p.links {
-		p.links[i] = make([]Link, n)
-		for j := range p.links[i] {
-			if i != j {
-				// NVSwitch: uniform full-bandwidth NVLink between every
-				// pair.
-				p.links[i][j] = Link{Kind: LinkNVLink2, BandwidthGBs: dgx2NVSwitchGBs}
-			}
-		}
-	}
-	p.hostLinks = make([]Link, n)
-	p.gpuToHost = make([]Link, n)
-	p.pcieSwitch = make([]int, n)
-	maxSwitch := 0
+	nd.SwitchOfGPU = make([]int, n)
+	numSwitch := 0
 	for i := 0; i < n; i++ {
-		p.hostLinks[i] = Link{Kind: LinkPCIe, BandwidthGBs: dgx2HostLinkGBs}
-		p.gpuToHost[i] = Link{Kind: LinkPCIe, BandwidthGBs: dgx2HostLinkGBs}
-		p.pcieSwitch[i] = i / 2
-		if p.pcieSwitch[i] > maxSwitch {
-			maxSwitch = p.pcieSwitch[i]
+		nd.SwitchOfGPU[i] = i / 2
+		if nd.SwitchOfGPU[i]+1 > numSwitch {
+			numSwitch = nd.SwitchOfGPU[i] + 1
 		}
 	}
-	p.numSwitch = maxSwitch + 1
-	p.socketOf = make([]int, p.numSwitch)
-	for s := 0; s < p.numSwitch; s++ {
-		p.socketOf[s] = s * 2 / p.numSwitch // first half socket 0, rest 1
-		if p.numSwitch == 1 {
-			p.socketOf[s] = 0
+	nd.SocketOfSwitch = make([]int, numSwitch)
+	for s := 0; s < numSwitch; s++ {
+		nd.SocketOfSwitch[s] = s * 2 / numSwitch // first half socket 0, rest 1
+		if numSwitch == 1 {
+			nd.SocketOfSwitch[s] = 0
 		}
 	}
-	p.numSockets = p.socketOf[p.numSwitch-1] + 1
-	if err := p.Validate(); err != nil {
-		panic(err)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			nd.Peers = append(nd.Peers, PeerLink{A: i, B: j,
+				Link: Link{Kind: LinkNVLink2, BandwidthGBs: dgx2NVSwitchGBs}})
+		}
 	}
-	return p
+	return MustBuild("NVIDIA DGX-2 (V100, NVSwitch)", []NodeSpec{nd}, Link{})
 }
 
 // Summit-like node: 6 GPUs in two triplets, NVLink everywhere inside a
@@ -183,45 +159,29 @@ const (
 // CPU-GPU connectivity.
 func SummitNode() *Platform {
 	const n = 6
-	p := &Platform{
-		Name: "Summit-like POWER9 node (V100)",
+	nd := NodeSpec{
+		GPUs: n,
 		GPU: GPUSpec{
 			Name:         "Tesla V100-SXM2-16GB",
 			PeakFP64:     7.8e12,
 			MemoryBytes:  summitMemoryBytes,
 			LocalCopyGBs: summitLocalGBs,
 		},
-		NumGPUs:        n,
-		SwitchGBs:      summitHostNVGBs,
-		InterSocketGBs: summitXBusGBs,
+		SwitchOfGPU:    []int{0, 0, 0, 1, 1, 1},
+		SocketOfSwitch: []int{0, 1},
+		HostLink:       Link{Kind: LinkNVLinkHost, BandwidthGBs: summitHostNVGBs},
+		SwitchLink:     Link{Kind: LinkNVLinkHost, BandwidthGBs: summitHostNVGBs},
+		// X-Bus: cross-socket routes are classified like PCIe peers (the
+		// slowest hop on every cross-triplet route).
+		SocketLink: Link{Kind: LinkPCIe, BandwidthGBs: summitXBusGBs},
 	}
-	p.links = make([][]Link, n)
-	for i := range p.links {
-		p.links[i] = make([]Link, n)
-		for j := range p.links[i] {
-			if i == j {
-				continue
-			}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
 			if i/3 == j/3 { // same triplet: direct NVLink
-				p.links[i][j] = Link{Kind: LinkNVLink1, BandwidthGBs: summitNVLinkGBs}
-			} else { // cross socket via X-Bus
-				p.links[i][j] = Link{Kind: LinkPCIe, BandwidthGBs: summitXBusGBs}
+				nd.Peers = append(nd.Peers, PeerLink{A: i, B: j,
+					Link: Link{Kind: LinkNVLink1, BandwidthGBs: summitNVLinkGBs}})
 			}
 		}
 	}
-	p.hostLinks = make([]Link, n)
-	p.gpuToHost = make([]Link, n)
-	p.pcieSwitch = make([]int, n)
-	for i := 0; i < n; i++ {
-		p.hostLinks[i] = Link{Kind: LinkNVLinkHost, BandwidthGBs: summitHostNVGBs}
-		p.gpuToHost[i] = Link{Kind: LinkNVLinkHost, BandwidthGBs: summitHostNVGBs}
-		p.pcieSwitch[i] = i / 3
-	}
-	p.numSwitch = 2
-	p.socketOf = []int{0, 1}
-	p.numSockets = 2
-	if err := p.Validate(); err != nil {
-		panic(err)
-	}
-	return p
+	return MustBuild("Summit-like POWER9 node (V100)", []NodeSpec{nd}, Link{})
 }

@@ -1,0 +1,103 @@
+package topology
+
+import "fmt"
+
+// Platforms the fabric-graph refactor unlocks: an NVSwitch all-to-all node
+// with contended per-GPU plane ports, multi-node fleets joined by a
+// first-class contended network link, and a heterogeneous fleet mixing GPU
+// generations via per-GPU specs.
+
+// A100SXM4 is the GPU spec of the DGX A100 (FP64 tensor-core peak, which is
+// what large GEMM tiles sustain).
+var A100SXM4 = GPUSpec{
+	Name:         "NVIDIA A100-SXM4-80GB",
+	PeakFP64:     19.5e12,
+	MemoryBytes:  80 << 30,
+	LocalCopyGBs: 1555.0,
+}
+
+const (
+	dgxa100PortGBs   = 270.0 // per-GPU NVLink3 port into the NVSwitch plane
+	dgxa100HostGBs   = 24.0  // NVLink host path per GPU stream
+	dgxa100SwitchGBs = 22.0  // shared host-bridge uplink per GPU pair
+	dgxa100QPIGBs    = 38.0  // xGMI/Infinity-Fabric between the two sockets
+)
+
+// DGXA100 returns an 8-GPU DGX A100-like platform: every GPU owns one in-
+// and one out-port into a shared NVSwitch plane, so any peer transfer
+// crosses two contended port hops (src out-port, dst in-port) and two
+// transfers into the same GPU contend on its in-port even when their
+// sources differ. The host path is NVLink-class.
+func DGXA100() *Platform {
+	const n = 8
+	port := Link{Kind: LinkNVLink2, BandwidthGBs: dgxa100PortGBs}
+	nd := NodeSpec{
+		GPUs:           n,
+		GPU:            A100SXM4,
+		SwitchOfGPU:    []int{0, 0, 1, 1, 2, 2, 3, 3},
+		SocketOfSwitch: []int{0, 0, 1, 1},
+		HostLink:       Link{Kind: LinkNVLinkHost, BandwidthGBs: dgxa100HostGBs},
+		SwitchLink:     Link{Kind: LinkNVLinkHost, BandwidthGBs: dgxa100SwitchGBs},
+		SocketLink:     Link{Kind: LinkPCIe, BandwidthGBs: dgxa100QPIGBs},
+		NVSwitchPort:   &port,
+	}
+	return MustBuild("NVIDIA DGX A100 (NVSwitch)", []NodeSpec{nd}, Link{})
+}
+
+// interNodeGBs is the per-direction inter-node network bandwidth of the
+// stock multi-node platforms (an 80 Gb/s-class fabric; slower than every
+// intra-node hop, so cross-node routes — including host staging from a
+// remote node — are classified LinkNet by their slowest hop).
+const interNodeGBs = 10.0
+
+// MultiNode joins n copies of a single-node fabric through a
+// fully-connected inter-node network whose per-direction links are
+// first-class contended resources ("net.<a>-><b>"). Host memory lives on
+// node 0, so GPUs on other nodes stage every host transfer across the
+// network — exactly the contention a multi-node runtime must schedule
+// around. GPU ids are global (node k owns k·per .. k·per+per-1).
+func MultiNode(name string, n int, node NodeSpec, inter Link) *Platform {
+	if n < 2 {
+		panic("topology: MultiNode needs at least 2 nodes")
+	}
+	nodes := make([]NodeSpec, n)
+	for i := range nodes {
+		nodes[i] = node
+	}
+	return MustBuild(name, nodes, inter)
+}
+
+// MultiNodeDGX1 returns n DGX-1 nodes joined by the stock inter-node
+// network.
+func MultiNodeDGX1(n int) *Platform {
+	return MultiNode(fmt.Sprintf("%d×DGX-1 (V100, %g GB/s interconnect)", n, float64(interNodeGBs)),
+		n, dgx1Node(8), Link{Kind: LinkNet, BandwidthGBs: interNodeGBs})
+}
+
+// P100SXM2 is the older-generation GPU of the heterogeneous fleet. Its
+// sustained kernel efficiency relative to peak is lower than the V100's,
+// which KernelEff exposes to the device layer's kernel model.
+var P100SXM2 = GPUSpec{
+	Name:         "Tesla P100-SXM2-16GB",
+	PeakFP64:     5.3e12,
+	MemoryBytes:  16 << 30,
+	LocalCopyGBs: 550.0,
+	KernelEff:    0.85,
+}
+
+// HeteroFleet returns a DGX-1-wired box whose second socket carries
+// previous-generation GPUs: GPUs 0-3 are V100s, GPUs 4-7 P100s with a
+// lower peak, less memory and a lower sustained kernel efficiency. The
+// fabric is the DGX-1 cube-mesh, so the topology heuristics see familiar
+// routes while the scheduler must balance unequal compute rates.
+func HeteroFleet() *Platform {
+	nd := dgx1Node(8)
+	nd.PerGPU = make([]GPUSpec, 8)
+	for i := 0; i < 4; i++ {
+		nd.PerGPU[i] = V100SXM2
+	}
+	for i := 4; i < 8; i++ {
+		nd.PerGPU[i] = P100SXM2
+	}
+	return MustBuild("Heterogeneous 4×V100 + 4×P100", []NodeSpec{nd}, Link{})
+}

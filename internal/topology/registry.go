@@ -1,0 +1,54 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Registry of named platforms backing `xkbench -platform` and `topo
+// -platform`. Every registration validates the built platform immediately,
+// so a malformed spec fails at process start, not mid-sweep.
+
+var registry = map[string]func() *Platform{}
+
+// Register adds a named platform constructor. The constructor is invoked
+// once at registration and its result validated; Register panics on a
+// duplicate name or an invalid platform.
+func Register(name string, build func() *Platform) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("topology: duplicate platform registration %q", name))
+	}
+	p := build()
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("topology: registering %q: %v", name, err))
+	}
+	registry[name] = build
+}
+
+// Lookup builds the platform registered under name.
+func Lookup(name string) (*Platform, bool) {
+	build, ok := registry[name]
+	if !ok {
+		return nil, false
+	}
+	return build(), true
+}
+
+// Names lists every registered platform name, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register("dgx1", DGX1)
+	Register("dgx2", DGX2)
+	Register("summit", SummitNode)
+	Register("dgxa100", DGXA100)
+	Register("multinode-2xdgx1", func() *Platform { return MultiNodeDGX1(2) })
+	Register("hetero-v100-p100", HeteroFleet)
+}

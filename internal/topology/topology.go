@@ -1,6 +1,10 @@
-// Package topology describes multi-GPU platform interconnect topologies: the
-// set of devices, the links between them, their bandwidths and their relative
-// performance ranks.
+// Package topology describes multi-GPU platform interconnect topologies as
+// routed fabric graphs: components (GPUs, PCIe switches, host sockets,
+// NVSwitch planes, NICs) joined by directed edges, each edge one contended
+// link resource. Route(src, dst) returns the multi-hop path between two
+// devices; the slowest hop defines the route's class and the device layer
+// charges every hop, so transfers sharing a QPI bridge or an inter-node NIC
+// genuinely contend.
 //
 // The flagship model is the NVIDIA DGX-1 hybrid cube-mesh of the paper
 // (Fig. 1): 8 V100 GPUs connected pairwise by 2×NVLink (≈96 GB/s measured),
@@ -8,7 +12,7 @@
 // switch to one of two host CPUs joined by QPI.
 //
 // The runtime heuristics consume only the information this package exports:
-// which devices hold a replica and how fast each candidate source's link to
+// which devices hold a replica and how fast each candidate source's route to
 // the destination is — the same information the paper's implementation reads
 // through cuDeviceGetP2PAttribute.
 package topology
@@ -22,7 +26,8 @@ type DeviceID int
 // Host is the pseudo-device denoting host (CPU) memory.
 const Host DeviceID = -1
 
-// LinkKind classifies the medium of a route between two devices.
+// LinkKind classifies the medium of a route between two devices — the
+// class of the route's slowest hop.
 type LinkKind int
 
 const (
@@ -36,6 +41,13 @@ const (
 	LinkNVLinkHost
 	// LinkPCIe is a PCIe route, possibly crossing QPI between sockets.
 	LinkPCIe
+	// LinkNet is a route crossing the inter-node network of a multi-node
+	// fabric.
+	LinkNet
+
+	// LinkKindCount is the number of LinkKind values; fixed-shape
+	// per-route-class accounting arrays are sized by it.
+	LinkKindCount
 )
 
 func (k LinkKind) String() string {
@@ -50,8 +62,32 @@ func (k LinkKind) String() string {
 		return "NVH"
 	case LinkPCIe:
 		return "PCIe"
+	case LinkNet:
+		return "Net"
 	default:
 		return fmt.Sprintf("LinkKind(%d)", int(k))
+	}
+}
+
+// MetricName reports the kind's metric-name segment (lowercase, no
+// punctuation) for per-route-class counters such as
+// "cache.route.nvlink2.bytes".
+func (k LinkKind) MetricName() string {
+	switch k {
+	case LinkNone:
+		return "none"
+	case LinkNVLink2:
+		return "nvlink2"
+	case LinkNVLink1:
+		return "nvlink1"
+	case LinkNVLinkHost:
+		return "nvlink_host"
+	case LinkPCIe:
+		return "pcie"
+	case LinkNet:
+		return "net"
+	default:
+		return "unknown"
 	}
 }
 
@@ -69,11 +105,14 @@ func (k LinkKind) Rank() int {
 	case LinkPCIe:
 		return 1
 	default:
+		// LinkNet routes rank below every intra-node route, like host
+		// staging.
 		return 0
 	}
 }
 
-// Link describes one directed route between two devices.
+// Link describes one directed route (or one fabric edge) between two
+// points: its class and sustained bandwidth.
 type Link struct {
 	Kind LinkKind
 	// BandwidthGBs is the sustained bandwidth of the route in GB/s (1e9
@@ -90,94 +129,134 @@ type GPUSpec struct {
 	MemoryBytes int64
 	// LocalCopyGBs is the intra-device copy bandwidth (device-to-itself).
 	LocalCopyGBs float64
+	// KernelEff scales this GPU's sustained kernel rate relative to
+	// PeakFP64 — heterogeneous fleets mix generations with different
+	// sustained efficiencies. Zero means 1.0 (no scaling).
+	KernelEff float64
 }
 
-// Platform is a complete immutable description of a multi-GPU node.
+// Platform is a complete immutable description of a multi-GPU node (or a
+// multi-node fleet), backed by a routed fabric graph.
 type Platform struct {
 	Name string
-	GPU  GPUSpec
+	// GPU is the reference GPU spec (the spec of every GPU on uniform
+	// platforms); GPUSpecOf reports per-device specs.
+	GPU GPUSpec
 
 	// NumGPUs is the number of GPU devices.
 	NumGPUs int
-
-	// links[i][j] is the directed route GPU i -> GPU j (i ≠ j).
-	links [][]Link
-	// hostLinks[i] is the route host -> GPU i; gpuToHost[i] the reverse.
-	hostLinks []Link
-	gpuToHost []Link
-
-	// pcieSwitch[i] is the PCIe switch id GPU i hangs off. GPUs sharing a
-	// switch share the host uplink bandwidth.
-	pcieSwitch []int
-	numSwitch  int
-	// socketOf[s] is the CPU socket a switch belongs to.
-	socketOf   []int
-	numSockets int
 
 	// SwitchGBs is the per-direction bandwidth of one PCIe switch uplink.
 	SwitchGBs float64
 	// InterSocketGBs is the per-direction bandwidth of the CPU-CPU
 	// interconnect (QPI on DGX-1).
 	InterSocketGBs float64
+
+	// Fabric graph.
+	comps []Component
+	edges []*Edge
+	// gpuComp[g] / hostComp are device endpoint component ids;
+	// gpuH2D/gpuD2H the per-GPU DMA edge ids.
+	gpuComp    []int
+	hostComp   int
+	gpuH2D     []int
+	gpuD2H     []int
+	gpuSpecs   []GPUSpec
+	nodeOf     []int
+	numNodes   int
+	pcieSwitch []int
+	numSwitch  int
+	socketOf   []int
+	numSockets int
+	routes     [][]*Path
 }
 
-// Validate checks internal consistency; it is called by the constructors and
-// exposed for platforms built by hand in tests.
+// Validate checks the fabric graph's internal consistency: well-formed
+// components and edges, unique resource names, a route between every
+// ordered device pair, and symmetric route classes. It is called by Build
+// (hence by every constructor) and again at registry registration.
 func (p *Platform) Validate() error {
 	if p.NumGPUs <= 0 {
 		return fmt.Errorf("topology: platform %q has %d GPUs", p.Name, p.NumGPUs)
 	}
-	if len(p.links) != p.NumGPUs || len(p.hostLinks) != p.NumGPUs ||
-		len(p.gpuToHost) != p.NumGPUs || len(p.pcieSwitch) != p.NumGPUs {
+	if len(p.gpuComp) != p.NumGPUs || len(p.gpuH2D) != p.NumGPUs ||
+		len(p.gpuD2H) != p.NumGPUs || len(p.gpuSpecs) != p.NumGPUs ||
+		len(p.pcieSwitch) != p.NumGPUs || len(p.nodeOf) != p.NumGPUs {
 		return fmt.Errorf("topology: platform %q has inconsistent table sizes", p.Name)
 	}
+	names := make(map[string]int)
+	for _, e := range p.edges {
+		if e.From < 0 || e.From >= len(p.comps) || e.To < 0 || e.To >= len(p.comps) {
+			return fmt.Errorf("topology: edge %d (%q) has bad endpoints", e.ID, e.Name)
+		}
+		if e.Class == EdgeVirtual {
+			continue
+		}
+		if e.Name == "" {
+			return fmt.Errorf("topology: unnamed physical edge %d", e.ID)
+		}
+		if prev, dup := names[e.Name]; dup {
+			return fmt.Errorf("topology: duplicate edge name %q (edges %d and %d)", e.Name, prev, e.ID)
+		}
+		names[e.Name] = e.ID
+		if e.BandwidthGBs <= 0 {
+			return fmt.Errorf("topology: edge %q has bandwidth %g", e.Name, e.BandwidthGBs)
+		}
+		if e.Kind == LinkNone {
+			return fmt.Errorf("topology: edge %q has no link kind", e.Name)
+		}
+	}
 	for i := 0; i < p.NumGPUs; i++ {
-		if len(p.links[i]) != p.NumGPUs {
-			return fmt.Errorf("topology: link row %d has %d entries", i, len(p.links[i]))
-		}
-		for j := 0; j < p.NumGPUs; j++ {
-			l := p.links[i][j]
-			if i == j {
-				continue
-			}
-			if l.Kind == LinkNone || l.BandwidthGBs <= 0 {
-				return fmt.Errorf("topology: missing link %d->%d", i, j)
-			}
-			back := p.links[j][i]
-			if back.Kind != l.Kind {
-				return fmt.Errorf("topology: asymmetric link kind %d<->%d", i, j)
-			}
-		}
-		if p.hostLinks[i].BandwidthGBs <= 0 || p.gpuToHost[i].BandwidthGBs <= 0 {
-			return fmt.Errorf("topology: missing host link for GPU %d", i)
-		}
 		if p.pcieSwitch[i] < 0 || p.pcieSwitch[i] >= p.numSwitch {
 			return fmt.Errorf("topology: GPU %d on unknown switch %d", i, p.pcieSwitch[i])
+		}
+		if p.gpuSpecs[i].PeakFP64 <= 0 || p.gpuSpecs[i].MemoryBytes <= 0 ||
+			p.gpuSpecs[i].LocalCopyGBs <= 0 {
+			return fmt.Errorf("topology: GPU %d has an incomplete spec", i)
+		}
+	}
+	for s := 0; s < p.numSwitch; s++ {
+		if p.socketOf[s] < 0 || p.socketOf[s] >= p.numSockets {
+			return fmt.Errorf("topology: switch %d on unknown socket %d", s, p.socketOf[s])
+		}
+	}
+	for si := 0; si <= p.NumGPUs; si++ {
+		for di := 0; di <= p.NumGPUs; di++ {
+			if si == di {
+				continue
+			}
+			r := p.routes[si][di]
+			if r == nil || len(r.Hops) == 0 {
+				return fmt.Errorf("topology: missing route %d -> %d", si-1, di-1)
+			}
+			if r.Kind == LinkNone || r.BandwidthGBs <= 0 {
+				return fmt.Errorf("topology: unclassified route %d -> %d", si-1, di-1)
+			}
+			if back := p.routes[di][si]; back == nil || back.Kind != r.Kind {
+				return fmt.Errorf("topology: asymmetric route kind %d <-> %d", si-1, di-1)
+			}
 		}
 	}
 	return nil
 }
 
-// GPULink reports the directed route between two distinct GPUs.
+// GPULink reports the directed route between two distinct GPUs: the class
+// and bandwidth of the routed path's slowest hop.
 func (p *Platform) GPULink(src, dst DeviceID) Link {
 	if src == dst {
 		return Link{Kind: LinkNone}
 	}
-	return p.links[src][dst]
+	r := p.Route(src, dst)
+	return Link{Kind: r.Kind, BandwidthGBs: r.BandwidthGBs}
 }
 
 // Link reports the route from src to dst where either may be Host.
 func (p *Platform) Link(src, dst DeviceID) Link {
-	switch {
-	case src == Host && dst == Host:
+	if src == dst {
 		return Link{Kind: LinkNone}
-	case src == Host:
-		return p.hostLinks[dst]
-	case dst == Host:
-		return p.gpuToHost[src]
-	default:
-		return p.GPULink(src, dst)
 	}
+	r := p.Route(src, dst)
+	return Link{Kind: r.Kind, BandwidthGBs: r.BandwidthGBs}
 }
 
 // P2PPerformanceRank reports the relative performance rank of the route from
@@ -191,7 +270,8 @@ func (p *Platform) P2PPerformanceRank(src, dst DeviceID) int {
 	return p.GPULink(src, dst).Kind.Rank()
 }
 
-// PCIeSwitchOf reports the PCIe switch id of a GPU.
+// PCIeSwitchOf reports the PCIe switch id of a GPU (the switch component
+// on its route to host memory).
 func (p *Platform) PCIeSwitchOf(g DeviceID) int { return p.pcieSwitch[g] }
 
 // NumPCIeSwitches reports how many PCIe switches the platform has.
@@ -203,14 +283,17 @@ func (p *Platform) SocketOfSwitch(s int) int { return p.socketOf[s] }
 // NumSockets reports the number of CPU sockets.
 func (p *Platform) NumSockets() int { return p.numSockets }
 
-// SameSwitch reports whether two GPUs hang off the same PCIe switch.
+// SameSwitch reports whether two GPUs hang off the same PCIe switch —
+// whether their host routes share the same first fabric component.
 func (p *Platform) SameSwitch(a, b DeviceID) bool {
 	return p.pcieSwitch[a] == p.pcieSwitch[b]
 }
 
 // BandwidthMatrix returns the (NumGPUs+1)² matrix of route bandwidths in
-// GB/s, indexed by device with Host mapped to the last row/column. The
-// diagonal holds the local copy bandwidth, reproducing the layout of Fig. 2.
+// GB/s, indexed by device with Host mapped to the last row/column. Entries
+// are derived from the routed paths (the slowest-hop bandwidth of each
+// route); the diagonal holds the local copy bandwidth, reproducing the
+// layout of Fig. 2.
 func (p *Platform) BandwidthMatrix() [][]float64 {
 	n := p.NumGPUs + 1
 	m := make([][]float64, n)
@@ -228,7 +311,7 @@ func (p *Platform) BandwidthMatrix() [][]float64 {
 			di, dj := dev(i), dev(j)
 			if di == dj {
 				if di != Host {
-					m[i][j] = p.GPU.LocalCopyGBs
+					m[i][j] = p.GPUSpecOf(di).LocalCopyGBs
 				}
 				continue
 			}
