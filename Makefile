@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-cancel metrics-race stress check topo-check bench bench-alloc bench-bigN verify experiments experiments-quick examples fmt fmtcheck vet clean
+.PHONY: all build test race race-cancel metrics-race stress check topo-check serve-check bench bench-alloc bench-bigN verify experiments experiments-quick examples fmt fmtcheck vet clean
 
 all: check
 
@@ -52,9 +52,21 @@ topo-check:
 	$(GO) run ./cmd/xkbench -exp all -quick > .topo-check.quick.txt && \
 		diff -u results_quick.txt .topo-check.quick.txt && rm -f .topo-check.quick.txt
 
+# Serving-path gate: the multi-tenant front end's unit and determinism
+# tests under the race detector (prewarm is the one concurrent phase), plus
+# a quick deterministic load replay through the xkserve binary — two runs
+# of one seed must produce byte-identical reports.
+serve-check:
+	$(GO) test -race -count=1 ./internal/serve/
+	$(GO) test -race -count=1 -run 'Serve' ./cmd/xkbench/
+	$(GO) run ./cmd/xkserve -requests 300 -parallel 8 > .serve-check.a.txt && \
+		$(GO) run ./cmd/xkserve -requests 300 -parallel 2 -no-reuse > .serve-check.b.txt && \
+		diff -u .serve-check.a.txt .serve-check.b.txt && rm -f .serve-check.a.txt .serve-check.b.txt
+
 # Default verification gate: build, vet, formatting, tests, stress, race,
-# the steady-state allocation budget and the fabric-graph parity gate.
-check: build vet fmtcheck test stress race race-cancel metrics-race bench-alloc topo-check
+# the steady-state allocation budget, the fabric-graph parity gate and the
+# serving-path gate.
+check: build vet fmtcheck test stress race race-cancel metrics-race bench-alloc topo-check serve-check
 
 # One testing.B benchmark per paper table/figure plus the ablations.
 bench:

@@ -22,8 +22,13 @@
 //	# every requested sink, and exit nonzero.
 //	xkbench -exp fig5 -timeout 2m -csv partial.csv
 //
+//	# Multi-tenant serving front end (internal/serve): replay a seeded
+//	# tenant workload against a platform fleet. Not part of -exp all.
+//	xkbench -exp serve -quick
+//	xkbench -exp serve -tenants 200 -requests 5000 -backpressure block -serve-json out.json
+//
 // Paper experiments: table1, fig2, fig3, table2, fig4, fig5, fig6, fig7,
-// fig8, fig9. Extensions: scale, summit, hermitian, pinning, factor.
+// fig8, fig9. Extensions: scale, summit, hermitian, pinning, factor, serve.
 package main
 
 import (
@@ -31,9 +36,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net"
-	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -45,11 +47,12 @@ import (
 	"xkblas/internal/blasops"
 	"xkblas/internal/check"
 	"xkblas/internal/metrics"
+	"xkblas/internal/serve"
 	"xkblas/internal/topology"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1,fig2,fig3,table2,fig4,fig5,fig6,fig7,fig8,fig9,scale,summit,hermitian,pinning,factor,bign,sweep,all")
+	exp := flag.String("exp", "all", "experiment: table1,fig2,fig3,table2,fig4,fig5,fig6,fig7,fig8,fig9,scale,summit,hermitian,pinning,factor,bign,sweep,serve,all")
 	platformFlag := flag.String("platform", "",
 		"simulated platform from the topology registry (empty = the DGX-1 of the paper); an unknown name lists the registered platforms and exits nonzero")
 	quick := flag.Bool("quick", false, "reduced sizes and repetitions")
@@ -77,6 +80,16 @@ func main() {
 		"stream every run's task DAG through a bounded admission window of this many live tasks instead of materializing it whole (0 = whole graph); results are bit-identical at any window mode, only peak memory changes")
 	streamWhole := flag.Bool("stream-whole", false,
 		"with -window, materialize the whole DAG up front and apply the window during execution — the reference mode streamed runs are parity-tested against")
+	tenants := flag.Int("tenants", 120, "serve experiment: simulated tenant count")
+	requests := flag.Int("requests", 1200, "serve experiment: request count to replay (-quick runs 300)")
+	arrivalFlag := flag.String("arrival", "bursty", "serve experiment: arrival process, poisson or bursty (two-state MMPP)")
+	rate := flag.Float64("rate", 300, "serve experiment: mean aggregate arrival rate, requests per virtual second")
+	seed := flag.Int64("seed", 1, "serve experiment: load-generator seed; one seed replays one trace bit for bit")
+	fleetFlag := flag.String("fleet", "dgx1,dgx2", "serve experiment: comma-separated platforms from the topology registry")
+	qdepth := flag.Int("qdepth", 8, "serve experiment: bounded admission-queue depth per platform")
+	backpressureFlag := flag.String("backpressure", "reject",
+		"serve experiment: policy when the admission queue is full — reject (typed error) or block (unbounded spill)")
+	serveJSON := flag.String("serve-json", "", "serve experiment: write the report's metrics snapshot as JSON to this path")
 	flag.Parse()
 
 	if *window < 0 {
@@ -96,13 +109,16 @@ func main() {
 	bench.ForceStreamWhole = *streamWhole
 	bench.DefaultParallelism = *parallel
 	bench.CheckRuns = *checkFlag
+	var liveSrv *metrics.LiveServer
 	if *serve != "" {
 		*metricsFlag = true
 		bench.GlobalMetrics = metrics.Default()
-		if _, err := serveMetrics(*serve); err != nil {
+		srv, err := serveMetrics(*serve)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "xkbench: -serve %s: %v\n", *serve, err)
 			os.Exit(2)
 		}
+		liveSrv = srv
 	}
 	bench.MetricsEnabled = *metricsFlag
 
@@ -118,6 +134,13 @@ func main() {
 	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt)
 	defer stopSignals()
 	bench.SweepContext = ctx
+	if liveSrv != nil {
+		// The -serve listener lives exactly as long as the run: a SIGINT or
+		// -timeout abort closes it while the sinks flush (it used to leak
+		// until process exit), and the clean path below closes it before the
+		// exit status is decided so a serve-loop failure isn't lost.
+		context.AfterFunc(ctx, func() { liveSrv.Close() })
+	}
 
 	w := os.Stdout
 	var points []bench.Point
@@ -167,6 +190,20 @@ func main() {
 				os.Exit(2)
 			}
 			points = append(points, pts...)
+		case "serve":
+			cfg, err := serveConfig(*fleetFlag, *arrivalFlag, *backpressureFlag,
+				*tenants, *requests, *qdepth, *parallel, *rate, *seed, *quick, *checkFlag, ctx)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			rep, err := serveRun(w, cfg, *serveJSON)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xkbench: serve: %v\n", err)
+				exitErr = true
+			} else if liveSrv != nil {
+				metrics.Default().MergeSnapshot(rep.Snapshot())
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			flag.Usage()
@@ -227,6 +264,13 @@ func main() {
 		}
 	}
 
+	if liveSrv != nil {
+		if err := liveSrv.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "xkbench: metrics server: %v\n", err)
+			exitErr = true
+		}
+	}
+
 	if *checkFlag {
 		drains, violations := check.Stats()
 		fmt.Fprintf(w, "coherence audit: %d clean drains, %d violations\n", drains, violations)
@@ -243,6 +287,61 @@ func main() {
 	if exitErr {
 		os.Exit(1)
 	}
+}
+
+// serveConfig builds the multi-tenant serving scenario from the flag set.
+// -quick keeps the flags' tenant/fleet shape but trims the replay to 300
+// requests unless -requests was moved off its default.
+func serveConfig(fleet, arrival, backpressure string, tenants, requests, qdepth, parallel int,
+	rate float64, seed int64, quick, check bool, ctx context.Context) (serve.Config, error) {
+	cfg := serve.Defaults()
+	var err error
+	if cfg.Fleet, err = serve.ParseFleet(fleet); err != nil {
+		return cfg, err
+	}
+	if cfg.Arrival, err = serve.ParseArrival(arrival); err != nil {
+		return cfg, err
+	}
+	if cfg.Backpressure, err = serve.ParseBackpressure(backpressure); err != nil {
+		return cfg, err
+	}
+	cfg.Tenants = tenants
+	cfg.Requests = requests
+	if quick && requests == 1200 {
+		cfg.Requests = 300
+	}
+	cfg.QueueDepth = qdepth
+	cfg.Parallel = parallel
+	cfg.RatePerSec = rate
+	cfg.Seed = seed
+	cfg.Check = check
+	cfg.Ctx = ctx
+	return cfg, nil
+}
+
+// serveRun executes the serving scenario, prints its report, and
+// optionally writes the report's metrics snapshot as JSON.
+func serveRun(w io.Writer, cfg serve.Config, jsonPath string) (*serve.Report, error) {
+	rep, err := serve.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.WriteText(w)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return nil, err
+		}
+		werr := rep.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return nil, werr
+		}
+		fmt.Fprintf(w, "wrote serve metrics snapshot to %s\n", jsonPath)
+	}
+	return rep, nil
 }
 
 // writeCSVTo writes the points as CSV to wc and closes it, reporting the
@@ -298,28 +397,18 @@ func writeMetricsJSONFile(path string, points []bench.Point) error {
 // serveMetrics starts the live observation endpoint: the process-wide
 // aggregate registry as Prometheus text under /metrics and the standard
 // pprof handlers under /debug/pprof/. The listener is bound synchronously —
-// address errors fail the command before any sweep starts and the bound
-// address is returned — then serving proceeds in the background for the
-// life of the process.
-func serveMetrics(addr string) (string, error) {
-	ln, err := net.Listen("tcp", addr)
+// address errors fail the command before any sweep starts — and the caller
+// owns the returned server: main ties its Close to the run context, so a
+// SIGINT/-timeout shutdown releases the port instead of leaking the
+// listener for the life of the process, and a serve-loop failure reaches
+// the exit code instead of only stderr.
+func serveMetrics(addr string) (*metrics.LiveServer, error) {
+	srv, err := metrics.ServeLive(addr, metrics.Default())
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", metrics.Handler(metrics.Default()))
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	fmt.Fprintf(os.Stderr, "xkbench: serving /metrics and /debug/pprof/ on %s\n", ln.Addr())
-	go func() {
-		if err := http.Serve(ln, mux); err != nil {
-			fmt.Fprintf(os.Stderr, "xkbench: metrics server: %v\n", err)
-		}
-	}()
-	return ln.Addr().String(), nil
+	fmt.Fprintf(os.Stderr, "xkbench: serving /metrics and /debug/pprof/ on %s\n", srv.Addr())
+	return srv, nil
 }
 
 // customSweep runs a user-specified sweep over the library roster.

@@ -2,9 +2,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -170,10 +172,12 @@ func TestWriteMetricsJSONFileRoundTrip(t *testing.T) {
 // and checks both the Prometheus exposition and the pprof index respond.
 func TestServeMetricsEndpoints(t *testing.T) {
 	metrics.Default().Counter("rt.tasks_run").Store(3)
-	addr, err := serveMetrics("127.0.0.1:0")
+	srv, err := serveMetrics("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
+	addr := srv.Addr()
 	get := func(path string) string {
 		t.Helper()
 		resp, err := http.Get("http://" + addr + path)
@@ -195,5 +199,119 @@ func TestServeMetricsEndpoints(t *testing.T) {
 	}
 	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
 		t.Fatalf("/debug/pprof/ index looks wrong:\n%.200s", body)
+	}
+}
+
+// TestServeMetricsShutdownReleasesListener is the regression test for the
+// -serve listener leak: the old serveMetrics handed back only the bound
+// address, so a SIGINT/-timeout shutdown had nothing to close and the port
+// stayed held (and served) until process exit. Now the run context's
+// cancellation closes the endpoint: the port must be rebindable and Close
+// must report a clean serve loop.
+func TestServeMetricsShutdownReleasesListener(t *testing.T) {
+	srv, err := serveMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if _, err := http.Get("http://" + addr + "/metrics"); err != nil {
+		t.Fatalf("endpoint not live before shutdown: %v", err)
+	}
+
+	// The same wiring main uses: ctx cancellation (SIGINT, -timeout)
+	// closes the listener while the rest of the shutdown path runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	stop := context.AfterFunc(ctx, func() { srv.Close() })
+	defer stop()
+	cancel()
+	if err := srv.Close(); err != nil { // idempotent; also awaits the serve goroutine
+		t.Fatalf("Close after ctx shutdown: %v", err)
+	}
+
+	// The port is actually released: binding it again must succeed.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port still held after shutdown: %v", err)
+	}
+	ln.Close()
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("endpoint still serving after shutdown")
+	}
+}
+
+// TestServeMetricsBindErrorPropagates pins that a bind failure surfaces as
+// a synchronous error (main turns it into exit status 2) rather than a
+// background stderr line.
+func TestServeMetricsBindErrorPropagates(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := serveMetrics(ln.Addr().String()); err == nil {
+		t.Fatal("binding a taken port must fail serveMetrics")
+	}
+}
+
+// TestServeExperimentDeterministic drives the -exp serve path end to end
+// at -quick scale: config assembly from flag values, the replay, the text
+// report and the JSON sink — twice, byte-identically.
+func TestServeExperimentDeterministic(t *testing.T) {
+	run := func(parallel int) (string, []byte) {
+		t.Helper()
+		cfg, err := serveConfig("dgx1,dgx2", "bursty", "reject",
+			120, 1200, 8, parallel, 300, 1, true /* quick */, false, context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Requests != 300 {
+			t.Fatalf("-quick kept %d requests, want 300", cfg.Requests)
+		}
+		path := filepath.Join(t.TempDir(), "serve.json")
+		var text bytes.Buffer
+		rep, err := serveRun(&text, cfg, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Served == 0 {
+			t.Fatal("quick serve experiment served nothing")
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var decoded any
+		if err := json.Unmarshal(blob, &decoded); err != nil {
+			t.Fatalf("serve-json sink is not valid JSON: %v", err)
+		}
+		// Drop the sink confirmation line: it names the per-run temp dir.
+		report := text.String()
+		if i := strings.Index(report, "wrote "); i >= 0 {
+			report = report[:i]
+		}
+		return report, blob
+	}
+	text1, json1 := run(1)
+	text8, json8 := run(8)
+	if text1 != text8 {
+		t.Fatalf("serve reports differ across -parallel:\n%s\nvs\n%s", text1, text8)
+	}
+	if !bytes.Equal(json1, json8) {
+		t.Fatal("serve JSON sinks differ across -parallel")
+	}
+}
+
+// TestServeConfigRejectsBadFlags pins flag validation to exit-code-2
+// errors rather than mid-run surprises.
+func TestServeConfigRejectsBadFlags(t *testing.T) {
+	ctx := context.Background()
+	if _, err := serveConfig("nonesuch", "bursty", "reject", 120, 1200, 8, 1, 300, 1, false, false, ctx); err == nil {
+		t.Fatal("unknown fleet platform must fail")
+	}
+	if _, err := serveConfig("dgx1", "fractal", "reject", 120, 1200, 8, 1, 300, 1, false, false, ctx); err == nil {
+		t.Fatal("unknown arrival pattern must fail")
+	}
+	if _, err := serveConfig("dgx1", "bursty", "drop", 120, 1200, 8, 1, 300, 1, false, false, ctx); err == nil {
+		t.Fatal("unknown backpressure policy must fail")
 	}
 }

@@ -27,7 +27,7 @@ func (p *Platform) PublishMetrics(reg *metrics.Registry) {
 		reg.Counter(name + ".served").Store(int64(st.Served))
 		reg.Gauge(name + ".units").Set(st.Units)
 		reg.Gauge(name + ".busy_seconds").Set(float64(st.Busy))
-		reg.Gauge(name + ".queue_max").Set(float64(st.QueueMax))
+		reg.Gauge(name + ".inflight_max").Set(float64(st.InflightMax))
 		units[cr.Class] += st.Units
 		busy[cr.Class] += st.Busy
 		served[cr.Class] += int64(st.Served)

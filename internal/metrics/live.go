@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// LiveServer is the live observation endpoint shared by `xkbench -serve`
+// and `xkserve -listen`: it exposes a registry as Prometheus text under
+// /metrics plus the standard pprof handlers under /debug/pprof/.
+//
+// The listener is bound synchronously in ServeLive, so address errors (a
+// taken port, a malformed address) surface to the caller — and from there
+// to the process exit code — before any work starts. Close releases the
+// listener and waits for the serving goroutine to exit, so shutdown paths
+// (SIGINT, -timeout, end of run) never leak the port or lose a serve-loop
+// failure to a stderr line nobody checks.
+type LiveServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+	err  error // serve-loop failure other than the orderly close; read after done
+
+	closeOnce sync.Once
+}
+
+// ServeLive binds addr and starts serving reg in the background. The
+// returned server must be Closed by the owner; its Addr reports the bound
+// address (useful with ":0").
+func ServeLive(addr string, reg *Registry) (*LiveServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &LiveServer{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.err = err
+		}
+	}()
+	return s, nil
+}
+
+// Addr reports the bound listen address.
+func (s *LiveServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down: the listener closes (releasing the port),
+// open connections are torn down, the serving goroutine is awaited, and
+// any serve-loop failure it hit is returned. Idempotent — every call
+// returns the same error.
+func (s *LiveServer) Close() error {
+	s.closeOnce.Do(func() { s.srv.Close() })
+	<-s.done
+	return s.err
+}

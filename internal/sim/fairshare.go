@@ -21,6 +21,13 @@ type FairServer struct {
 	jobs      map[*fairJob]struct{}
 	lastUpd   Time
 	wakeToken uint64
+	seq       uint64 // submission counter: deterministic completion ties
+
+	// advancing marks the completion-callback phase of advance. A callback
+	// may re-enter Submit on this server; the nested advance must not run —
+	// the outer call already progressed every job to the current instant and
+	// owns completion processing (see advance).
+	advancing bool
 
 	// Statistics. Served/Units accrue at job completion; Busy accrues in
 	// advance() as active service time, which is delivered work by
@@ -32,6 +39,7 @@ type fairJob struct {
 	remaining float64 // units left
 	size      float64 // original job size, credited to Units on completion
 	startAt   Time
+	seq       uint64 // submission order, the final completion tie-break
 	done      func(start, end Time)
 }
 
@@ -62,16 +70,18 @@ func (s *FairServer) Submit(size float64, overhead Time, done func(start, end Ti
 		panic(fmt.Sprintf("sim: negative job size %g on %q", size, s.name))
 	}
 	s.advance()
+	s.seq++
 	j := &fairJob{
 		remaining: size + float64(overhead)*s.rate, // fold overhead into units
 		size:      size,
 		startAt:   s.eng.Now(),
+		seq:       s.seq,
 		done:      done,
 	}
 	s.jobs[j] = struct{}{}
 	s.stats.Submitted++
-	if len(s.jobs) > s.stats.QueueMax {
-		s.stats.QueueMax = len(s.jobs)
+	if len(s.jobs) > s.stats.InflightMax {
+		s.stats.InflightMax = len(s.jobs)
 	}
 	s.reschedule()
 }
@@ -87,7 +97,22 @@ func (s *FairServer) finishEps() float64 { return s.rate * 1e-12 }
 // completes every job whose residual is below the finish threshold (even
 // when no time has passed: completion must not depend on the clock being
 // able to represent a sub-ulp step).
+//
+// Completion is two-phase: every finished job is removed from the active
+// set and credited to the stats before any done callback fires. A callback
+// may re-enter Submit on this server (a dispatcher starting the next
+// request from a completion); the job set and stats it observes — and that
+// its nested reschedule derives the wake ETA from — must already be
+// consistent. Pre-fix, the nested advance found the not-yet-removed
+// finished jobs still in the set and completed them again: Served/Units
+// double-counted and their callbacks double-fired.
 func (s *FairServer) advance() {
+	if s.advancing {
+		// Re-entered from a completion callback at the same instant: the
+		// outer advance has already progressed every job to now and will
+		// finish the completion pass itself.
+		return
+	}
 	now := s.eng.Now()
 	dt := now - s.lastUpd
 	s.lastUpd = now
@@ -107,16 +132,21 @@ func (s *FairServer) advance() {
 			finished = append(finished, j)
 		}
 	}
-	// Deterministic completion order: by start time, then by remaining.
+	// Deterministic completion order: by start time, then remaining work,
+	// then submission order (map iteration must never decide ties).
 	sortJobs(finished)
 	for _, j := range finished {
 		delete(s.jobs, j)
 		s.stats.Served++
 		s.stats.Units += j.size
+	}
+	s.advancing = true
+	for _, j := range finished {
 		if j.done != nil {
 			j.done(j.startAt, now)
 		}
 	}
+	s.advancing = false
 }
 
 func sortJobs(js []*fairJob) {
@@ -131,7 +161,10 @@ func less(a, b *fairJob) bool {
 	if a.startAt != b.startAt {
 		return a.startAt < b.startAt
 	}
-	return a.remaining < b.remaining
+	if a.remaining != b.remaining {
+		return a.remaining < b.remaining
+	}
+	return a.seq < b.seq
 }
 
 // reschedule arms a wake-up at the next completion instant.
@@ -177,6 +210,8 @@ func (s *FairServer) Reset() {
 	}
 	s.lastUpd = 0
 	s.wakeToken = 0
+	s.seq = 0
+	s.advancing = false
 	s.stats = ResourceStats{}
 }
 

@@ -73,8 +73,8 @@ func TestFairServerUnequalJobs(t *testing.T) {
 	if math.Abs(float64(st.Busy-4)) > 1e-6 {
 		t.Fatalf("busy = %v, want 4", st.Busy)
 	}
-	if st.QueueMax != 2 {
-		t.Fatalf("queue high-water = %d, want 2", st.QueueMax)
+	if st.InflightMax != 2 {
+		t.Fatalf("in-flight high-water = %d, want 2", st.InflightMax)
 	}
 }
 
@@ -181,5 +181,70 @@ func TestFairServerActiveCount(t *testing.T) {
 	e.Run()
 	if s.Active() != 0 {
 		t.Fatalf("active after drain = %d", s.Active())
+	}
+}
+
+// TestFairServerSubmitFromCompletionCallback is the regression test for the
+// re-entrancy bug: a done callback that Submits back into the same server
+// mid-advance used to trigger a nested advance that completed the remaining
+// finished jobs, after which the outer completion loop credited and
+// notified them a second time — double-counted Served/Units and
+// double-fired callbacks. The two initial jobs are sized within finishEps
+// of each other so they complete in the same advance with a deterministic
+// order (A strictly first).
+func TestFairServerSubmitFromCompletionCallback(t *testing.T) {
+	e := NewEngine()
+	s := NewFairServer(e, "ps", 100) // finishEps = 1e-10
+	var bDone, cDone int
+	var cEnd Time
+	// A and B share until t=2; B carries 5e-11 more work than A, under the
+	// finish threshold, so both complete in the same advance, A first.
+	s.Submit(100, 0, func(_, _ Time) {
+		// Re-enter from the completion callback: C services alone after t=2.
+		s.Submit(50, 0, func(_, en Time) { cDone++; cEnd = en })
+	})
+	s.Submit(100+5e-11, 0, func(_, _ Time) { bDone++ })
+	e.Run()
+	if bDone != 1 {
+		t.Fatalf("B's done fired %d times, want exactly once", bDone)
+	}
+	if cDone != 1 {
+		t.Fatalf("C's done fired %d times, want exactly once", cDone)
+	}
+	if math.Abs(float64(cEnd-2.5)) > 1e-6 {
+		t.Fatalf("C end = %v, want 2.5 (50 units alone at 100/s from t=2)", cEnd)
+	}
+	st := s.Stats()
+	if st.Served != 3 {
+		t.Fatalf("served = %d, want 3: completions must be credited exactly once", st.Served)
+	}
+	if math.Abs(st.Units-250) > 1e-6 {
+		t.Fatalf("units = %g, want 250: no double-crediting of completed sizes", st.Units)
+	}
+	if s.Active() != 0 {
+		t.Fatalf("active after drain = %d, want 0", s.Active())
+	}
+}
+
+// TestFairServerCompletionOrderDeterministic pins the completion order of
+// jobs that are indistinguishable by start time and residual work: they
+// must complete (and notify) in submission order, not map-iteration order.
+func TestFairServerCompletionOrderDeterministic(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		e := NewEngine()
+		s := NewFairServer(e, "ps", 100)
+		var order []int
+		for i := 0; i < 5; i++ {
+			s.Submit(100, 0, func(_, _ Time) { order = append(order, i) })
+		}
+		e.Run()
+		for i, got := range order {
+			if got != i {
+				t.Fatalf("trial %d: completion order %v, want submission order", trial, order)
+			}
+		}
+		if len(order) != 5 {
+			t.Fatalf("trial %d: %d completions, want 5", trial, len(order))
+		}
 	}
 }

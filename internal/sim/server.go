@@ -51,9 +51,15 @@ type ResourceStats struct {
 	Units float64
 	// Busy is the delivered service time (see above for per-model detail).
 	Busy Time
-	// QueueMax is the high-water mark of concurrently pending jobs
-	// (queued + in service).
-	QueueMax int
+	// InflightMax is the high-water mark of jobs concurrently in flight:
+	// submitted but not yet completed. The definition is identical for both
+	// models — what differs is only where an in-flight job sits: behind the
+	// FIFO Server at most one is in service and the rest are queued, while
+	// the processor-sharing FairServer serves every in-flight job at once,
+	// so the value is its peak sharing degree. (The field was formerly
+	// named QueueMax, which read as "maximum queue length" — a meaning only
+	// the FIFO model matched.)
+	InflightMax int
 }
 
 // Server models a serial FIFO resource with a fixed service rate: a
@@ -150,8 +156,8 @@ func (s *Server) submit(size float64, overhead Time, done func(start, end Time),
 	s.busyUntil = end
 	s.stats.Submitted++
 	s.pending++
-	if s.pending > s.stats.QueueMax {
-		s.stats.QueueMax = s.pending
+	if s.pending > s.stats.InflightMax {
+		s.stats.InflightMax = s.pending
 	}
 	var j *srvJob
 	if n := len(s.jobFree); n > 0 {

@@ -139,8 +139,8 @@ func TestServerFIFOAndRate(t *testing.T) {
 	if st.Submitted != 2 || st.Served != 2 || st.Units != 300 || st.Busy != 3 {
 		t.Fatalf("stats = %+v, want 2 submitted/served, 300 units, 3s busy", st)
 	}
-	if st.QueueMax != 2 {
-		t.Fatalf("queue high-water = %d, want 2 (second job queued behind the first)", st.QueueMax)
+	if st.InflightMax != 2 {
+		t.Fatalf("in-flight high-water = %d, want 2 (second job queued behind the first)", st.InflightMax)
 	}
 }
 

@@ -32,8 +32,8 @@ func TestServerBusyTimeExcludesCancelledQueue(t *testing.T) {
 	if st.Units != 100 {
 		t.Fatalf("units = %g, want 100: undelivered payloads must not count", st.Units)
 	}
-	if st.QueueMax != 3 {
-		t.Fatalf("queue high-water = %d, want 3", st.QueueMax)
+	if st.InflightMax != 3 {
+		t.Fatalf("in-flight high-water = %d, want 3", st.InflightMax)
 	}
 }
 
@@ -84,8 +84,8 @@ func TestFairServerStatsUnderCancellation(t *testing.T) {
 	if math.Abs(float64(st.Busy-2)) > 1e-6 {
 		t.Fatalf("busy = %v, want 2s (time actually simulated in service)", st.Busy)
 	}
-	if st.QueueMax != 2 {
-		t.Fatalf("queue high-water = %d, want 2", st.QueueMax)
+	if st.InflightMax != 2 {
+		t.Fatalf("in-flight high-water = %d, want 2", st.InflightMax)
 	}
 }
 
