@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-cancel metrics-race stress check topo-check serve-check bench bench-alloc bench-bigN verify experiments experiments-quick examples fmt fmtcheck vet clean
+.PHONY: all build test race race-cancel metrics-race stress check topo-check serve-check pdes-check bench bench-alloc bench-bigN verify experiments experiments-quick examples fmt fmtcheck vet clean
 
 all: check
 
@@ -63,10 +63,25 @@ serve-check:
 		$(GO) run ./cmd/xkserve -requests 300 -parallel 2 -no-reuse > .serve-check.b.txt && \
 		diff -u .serve-check.a.txt .serve-check.b.txt && rm -f .serve-check.a.txt .serve-check.b.txt
 
+# Partitioned-event-loop gate: the engine-level bugfix and parity tests,
+# the forced-worker runs under the race detector, the cross-platform
+# -sim-workers sweep parity and the functional-offload parity, then a full
+# quick-sweep byte-diff against the committed results_quick.txt at
+# -sim-workers 8 (the partitioned engine must reproduce the sequential
+# event order exactly).
+pdes-check:
+	$(GO) test -count=1 -run 'TestRunUntilAdvancesClock|TestEngineFreeListCapped|TestPar|TestSetWorkers' ./internal/sim/
+	$(GO) test -race -count=1 -run 'TestParStopRace|TestParParity' ./internal/sim/
+	$(GO) test -race -count=1 -run 'TestFunctionalSimWorkersParity' ./internal/core/
+	$(GO) test -count=1 -run 'TestSimWorkersSweepParity' ./internal/bench/
+	$(GO) test -count=1 -run 'TestFlagProblem' ./cmd/xkbench/
+	$(GO) run ./cmd/xkbench -exp all -quick -sim-workers 8 > .pdes-check.quick.txt && \
+		diff -u results_quick.txt .pdes-check.quick.txt && rm -f .pdes-check.quick.txt
+
 # Default verification gate: build, vet, formatting, tests, stress, race,
-# the steady-state allocation budget, the fabric-graph parity gate and the
-# serving-path gate.
-check: build vet fmtcheck test stress race race-cancel metrics-race bench-alloc topo-check serve-check
+# the steady-state allocation budget, the fabric-graph parity gate, the
+# serving-path gate and the partitioned-event-loop gate.
+check: build vet fmtcheck test stress race race-cancel metrics-race bench-alloc topo-check serve-check pdes-check
 
 # One testing.B benchmark per paper table/figure plus the ablations.
 bench:

@@ -68,6 +68,8 @@ func main() {
 		"print the policy-decision counters (transfer sources by link class, optimistic chains, evictions, steals) of each sweep point")
 	parallel := flag.Int("parallel", runtime.NumCPU(),
 		"worker goroutines for independent simulated runs (1 = sequential; results are bit-identical at any level)")
+	simWorkers := flag.Int("sim-workers", 1,
+		"event-loop workers inside each simulated run: values above 1 partition the engine by platform resource under conservative lookahead (1 = sequential engine; results are bit-identical at any count)")
 	checkFlag := flag.Bool("check", false,
 		"run every simulation under the coherence-invariant auditor (internal/check); violations surface as per-point errors and a non-zero exit")
 	timeout := flag.Duration("timeout", 0,
@@ -92,8 +94,9 @@ func main() {
 	serveJSON := flag.String("serve-json", "", "serve experiment: write the report's metrics snapshot as JSON to this path")
 	flag.Parse()
 
-	if *window < 0 {
-		fmt.Fprintf(os.Stderr, "xkbench: -window must be >= 0, got %d\n", *window)
+	if msg := flagProblem(*window, *parallel, *simWorkers); msg != "" {
+		fmt.Fprintf(os.Stderr, "xkbench: %s\n", msg)
+		flag.Usage()
 		os.Exit(2)
 	}
 	if *platformFlag != "" {
@@ -108,6 +111,7 @@ func main() {
 	bench.ForceStreamWindow = *window
 	bench.ForceStreamWhole = *streamWhole
 	bench.DefaultParallelism = *parallel
+	bench.SimWorkers = *simWorkers
 	bench.CheckRuns = *checkFlag
 	var liveSrv *metrics.LiveServer
 	if *serve != "" {
@@ -287,6 +291,22 @@ func main() {
 	if exitErr {
 		os.Exit(1)
 	}
+}
+
+// flagProblem validates the concurrency/window flags, returning a
+// diagnostic message (empty = valid). -window 0 means "whole graph", so
+// only negatives are nonsense there; a parallelism or engine-worker count
+// below 1 has no meaning at all and used to be accepted silently.
+func flagProblem(window, parallel, simWorkers int) string {
+	switch {
+	case window < 0:
+		return fmt.Sprintf("-window must be >= 0, got %d", window)
+	case parallel < 1:
+		return fmt.Sprintf("-parallel must be >= 1, got %d", parallel)
+	case simWorkers < 1:
+		return fmt.Sprintf("-sim-workers must be >= 1, got %d", simWorkers)
+	}
+	return ""
 }
 
 // serveConfig builds the multi-tenant serving scenario from the flag set.

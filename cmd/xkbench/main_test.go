@@ -315,3 +315,33 @@ func TestServeConfigRejectsBadFlags(t *testing.T) {
 		t.Fatal("unknown backpressure policy must fail")
 	}
 }
+
+// TestFlagProblemRejectsBadConcurrency locks the flag validation behind the
+// exit-2 path of main: zero/negative -parallel and -sim-workers (and a
+// negative -window) used to be accepted silently; now each produces a
+// usage diagnostic. -window 0 stays valid — it means "whole graph".
+func TestFlagProblemRejectsBadConcurrency(t *testing.T) {
+	for _, tc := range []struct {
+		window, parallel, simWorkers int
+		bad                          string // substring of the expected message; "" = valid
+	}{
+		{0, 1, 1, ""},
+		{16, 8, 8, ""},
+		{-1, 1, 1, "-window"},
+		{0, 0, 1, "-parallel"},
+		{0, -3, 1, "-parallel"},
+		{0, 1, 0, "-sim-workers"},
+		{0, 1, -8, "-sim-workers"},
+	} {
+		msg := flagProblem(tc.window, tc.parallel, tc.simWorkers)
+		if tc.bad == "" {
+			if msg != "" {
+				t.Errorf("flagProblem(%d,%d,%d) = %q, want valid", tc.window, tc.parallel, tc.simWorkers, msg)
+			}
+			continue
+		}
+		if !strings.Contains(msg, tc.bad) {
+			t.Errorf("flagProblem(%d,%d,%d) = %q, want mention of %s", tc.window, tc.parallel, tc.simWorkers, msg, tc.bad)
+		}
+	}
+}

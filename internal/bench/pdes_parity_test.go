@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"xkblas/internal/baseline"
+	"xkblas/internal/blasops"
+	"xkblas/internal/sim"
+	"xkblas/internal/topology"
+)
+
+// pdesParityConfig is a small but partition-heavy sweep slice: one library,
+// a transfer-rich routine at a size whose barrier stints fire far more
+// events than the worker-spawn threshold, with metrics and decisions on —
+// everything the bit-identical contract covers.
+func pdesParityConfig(plat *topology.Platform, simWorkers int) Config {
+	return Config{
+		Libs:       []baseline.Library{XKBlasDefault()},
+		Routines:   []blasops.Routine{blasops.Gemm},
+		Sizes:      []int{8192},
+		Tiles:      []int{1024},
+		Runs:       2,
+		NoiseAmp:   0.02,
+		Platform:   plat,
+		Parallel:   1,
+		Metrics:    true,
+		SimWorkers: simWorkers,
+	}
+}
+
+// XKBlasDefault returns the paper-default XKBLAS library under test.
+func XKBlasDefault() baseline.Library { return baseline.XKBlas() }
+
+// TestSimWorkersSweepParity proves the tentpole contract end to end: on
+// DGX-1, DGX-2, Summit and the two-node DGX-1 fabric, a sweep run with
+// -sim-workers 2 and 8 — with worker goroutines genuinely spawned — is
+// byte-identical to the sequential engine: same CSV (virtual timings), same
+// policy-decision counters, same metrics snapshots.
+func TestSimWorkersSweepParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-platform parity sweep is not -short")
+	}
+	sim.ForceWorkerSpawn(true)
+	defer sim.ForceWorkerSpawn(false)
+
+	for _, platName := range []string{"dgx1", "dgx2", "summit", "multinode-2xdgx1"} {
+		plat, ok := topology.Lookup(platName)
+		if !ok {
+			t.Fatalf("platform %q not registered", platName)
+		}
+		ref := RunSweep(pdesParityConfig(plat, 1))
+		var refCSV bytes.Buffer
+		if err := WriteCSV(&refCSV, ref); err != nil {
+			t.Fatalf("%s: WriteCSV: %v", platName, err)
+		}
+		for _, workers := range []int{2, 8} {
+			plat2, _ := topology.Lookup(platName)
+			spawnsBefore := sim.WorkerSpawns()
+			got := RunSweep(pdesParityConfig(plat2, workers))
+			if sim.WorkerSpawns() == spawnsBefore {
+				t.Fatalf("%s workers=%d: no worker fleet ever spawned — parity would be vacuous", platName, workers)
+			}
+			var gotCSV bytes.Buffer
+			if err := WriteCSV(&gotCSV, got); err != nil {
+				t.Fatalf("%s workers=%d: WriteCSV: %v", platName, workers, err)
+			}
+			if !bytes.Equal(refCSV.Bytes(), gotCSV.Bytes()) {
+				t.Errorf("%s workers=%d: CSV differs from sequential engine\nseq:\n%s\npar:\n%s",
+					platName, workers, refCSV.String(), gotCSV.String())
+				continue
+			}
+			if len(got) != len(ref) {
+				t.Fatalf("%s workers=%d: %d points vs %d", platName, workers, len(got), len(ref))
+			}
+			for i := range ref {
+				if ref[i].Decisions != got[i].Decisions {
+					t.Errorf("%s workers=%d point %d: decisions differ\nseq: %+v\npar: %+v",
+						platName, workers, i, ref[i].Decisions, got[i].Decisions)
+				}
+				if !reflect.DeepEqual(ref[i].Metrics, got[i].Metrics) {
+					t.Errorf("%s workers=%d point %d: metrics snapshots differ", platName, workers, i)
+				}
+				if fmt.Sprintf("%v", ref[i].Err) != fmt.Sprintf("%v", got[i].Err) {
+					t.Errorf("%s workers=%d point %d: err %v vs %v", platName, workers, i, ref[i].Err, got[i].Err)
+				}
+			}
+		}
+	}
+}

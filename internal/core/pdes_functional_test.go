@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xkblas/internal/hostblas"
+	"xkblas/internal/matrix"
+	"xkblas/internal/sim"
+)
+
+// TestFunctionalSimWorkersParity runs a functional-mode multi-tile GEMM on
+// the partitioned engine — with workers genuinely spawned, so the kernel
+// bodies execute on partition goroutines via JobDoneLocal — and requires
+// the result to be bit-identical to the sequential engine's: per-tile
+// operation order is fixed by the dataflow dependencies, so even float
+// rounding must agree exactly.
+func TestFunctionalSimWorkersParity(t *testing.T) {
+	sim.ForceWorkerSpawn(true)
+	defer sim.ForceWorkerSpawn(false)
+
+	rng := rand.New(rand.NewSource(99))
+	// 12×12×12 tiles of 8 → 1728 kernels: far beyond the spawn threshold.
+	m, n, k, nb := 96, 96, 96, 8
+	av := randMat(rng, m, k)
+	bv := randMat(rng, k, n)
+	cv := randMat(rng, m, n)
+
+	want := cv.Clone()
+	hostblas.Gemm(NoTrans, NoTrans, 1.5, av, bv, -0.25, want)
+
+	// Sequential functional reference.
+	seqC := cv.Clone()
+	hSeq := NewHandle(Config{TileSize: nb, Functional: true})
+	A, B, C := hSeq.Register(av.Clone()), hSeq.Register(bv.Clone()), hSeq.Register(seqC)
+	hSeq.GemmAsync(NoTrans, NoTrans, 1.5, A, B, -0.25, C)
+	hSeq.MemoryCoherentAsync(C)
+	hSeq.Sync()
+
+	// Partitioned run with worker goroutines.
+	spawnsBefore := sim.WorkerSpawns()
+	parC := cv.Clone()
+	hPar := NewHandle(Config{TileSize: nb, Functional: true, SimWorkers: 8})
+	A2, B2, C2 := hPar.Register(av.Clone()), hPar.Register(bv.Clone()), hPar.Register(parC)
+	hPar.GemmAsync(NoTrans, NoTrans, 1.5, A2, B2, -0.25, C2)
+	hPar.MemoryCoherentAsync(C2)
+	hPar.Sync()
+	if sim.WorkerSpawns() == spawnsBefore {
+		t.Fatalf("no worker fleet spawned — functional offload untested")
+	}
+
+	if d := matrix.MaxAbsDiff(seqC, parC); d != 0 {
+		t.Errorf("partitioned functional result differs from sequential: max abs diff %g", d)
+	}
+	if d := matrix.MaxAbsDiff(parC, want); d > tol {
+		t.Errorf("partitioned functional result wrong vs host reference: max diff %g", d)
+	}
+}

@@ -1,0 +1,71 @@
+package device
+
+import (
+	"fmt"
+
+	"xkblas/internal/sim"
+	"xkblas/internal/topology"
+)
+
+// ConfigurePartitions maps the platform's contended FIFO resources onto
+// logical processes of the partitioned event loop (sim.Engine.SetWorkers).
+// It is a no-op on a sequential engine, so every platform build goes
+// through it.
+//
+// Partitioning rule, derived from the fabric graph:
+//
+//   - Each GPU gets one partition owning its kernel stream and its three
+//     DMA engines (H2D, D2H, local copy). These resources belong to one
+//     device, and their completions touch only per-device state. The
+//     lookahead is the smallest per-job overhead any of them charges:
+//     min(kernel launch overhead, transfer setup overhead).
+//   - Each remaining physical fabric edge (NVLink, PCIe switch port, QPI,
+//     NIC — the shared interconnect) gets its own partition, with the
+//     transfer setup overhead as lookahead, extracted per edge through
+//     topology.EdgeLookaheads.
+//   - The pinner stays on the coordinator: host-pin jobs charge no fixed
+//     overhead, so the resource has no usable lookahead.
+//   - Under LinksFairShare the link resources are processor-sharing
+//     FairServers whose completions retime each other on every arrival;
+//     they are not partitionable and stay on the coordinator (the type
+//     assertion below filters them), which the ablation tolerates — only
+//     FIFO resources carry the bit-identical contract at speed.
+func (p *Platform) ConfigurePartitions() {
+	eng := p.Eng
+	if !eng.Partitioned() {
+		return
+	}
+	devLA := p.Model.LaunchOverhead
+	if TransferOverhead < devLA {
+		devLA = TransferOverhead
+	}
+	for _, g := range p.GPUs {
+		lp := eng.NewPartition(fmt.Sprintf("gpu%d", g.ID), devLA)
+		g.Kernel.SetPartition(lp)
+		setPartition(g.H2D, lp)
+		setPartition(g.D2H, lp)
+		setPartition(g.Local, lp)
+	}
+	la := p.Topo.EdgeLookaheads(func(topology.EdgeClass) float64 {
+		// Every charged fabric hop is submitted through Platform.Transfer
+		// with the fixed DMA setup overhead, so the per-class floor is
+		// uniform in this model.
+		return float64(TransferOverhead)
+	})
+	for _, e := range p.Topo.Edges() {
+		if e.Class == topology.EdgeVirtual || e.HostDMA {
+			continue
+		}
+		if s, ok := p.linkRes[e.ID].(*sim.Server); ok {
+			s.SetPartition(eng.NewPartition(e.Name, sim.Time(la[e.ID])))
+		}
+	}
+}
+
+// setPartition assigns a partition when the resource is a FIFO server;
+// processor-sharing resources stay on the coordinator.
+func setPartition(r sim.Resource, lp *sim.Partition) {
+	if s, ok := r.(*sim.Server); ok {
+		s.SetPartition(lp)
+	}
+}

