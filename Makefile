@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-cancel metrics-race stress check topo-check serve-check pdes-check bench bench-alloc bench-bigN verify experiments experiments-quick examples fmt fmtcheck vet clean
+.PHONY: all build test race race-cancel metrics-race stress check topo-check serve-check pdes-check batch-check bench bench-alloc bench-bigN verify experiments experiments-quick examples fmt fmtcheck vet clean
 
 all: check
 
@@ -78,10 +78,25 @@ pdes-check:
 	$(GO) run ./cmd/xkbench -exp all -quick -sim-workers 8 > .pdes-check.quick.txt && \
 		diff -u results_quick.txt .pdes-check.quick.txt && rm -f .pdes-check.quick.txt
 
+# Batched-dispatch gate: the model-derived crossover contract (the
+# crossover leg is never more than 5% slower than the better forced leg at
+# every swept point), batched determinism across handle reuse and
+# partitioned event loops, the dispatch-flag validation, and a full
+# quick-sweep byte-diff against the committed results_quick.txt (the
+# batched path — idle host server included — must leave the non-batched
+# event order untouched).
+batch-check:
+	$(GO) test -count=1 -run 'TestRunBatched|TestDispatch' ./internal/baseline/
+	$(GO) test -count=1 -run 'TestBatchedRequestKindServed' ./internal/serve/
+	$(GO) test -count=1 -run 'TestFlagProblem|TestBatch' ./cmd/xkbench/
+	$(GO) run ./cmd/xkbench -exp all -quick -parallel 8 > .batch-check.quick.txt && \
+		diff -u results_quick.txt .batch-check.quick.txt && rm -f .batch-check.quick.txt
+
 # Default verification gate: build, vet, formatting, tests, stress, race,
 # the steady-state allocation budget, the fabric-graph parity gate, the
-# serving-path gate and the partitioned-event-loop gate.
-check: build vet fmtcheck test stress race race-cancel metrics-race bench-alloc topo-check serve-check pdes-check
+# serving-path gate, the partitioned-event-loop gate and the
+# batched-dispatch gate.
+check: build vet fmtcheck test stress race race-cancel metrics-race bench-alloc topo-check serve-check pdes-check batch-check
 
 # One testing.B benchmark per paper table/figure plus the ablations.
 bench:

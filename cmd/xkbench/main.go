@@ -27,8 +27,15 @@
 //	xkbench -exp serve -quick
 //	xkbench -exp serve -tenants 200 -requests 5000 -backpressure block -serve-json out.json
 //
+//	# Batched small-BLAS dispatch: uniform batches swept over batch count
+//	# and instance size, device-only vs host-only vs the model-derived
+//	# crossover routing, on two fabric designs. Not part of -exp all.
+//	xkbench -exp batch -quick
+//	xkbench -exp batch -batch-count 64 -batch-n 256
+//
 // Paper experiments: table1, fig2, fig3, table2, fig4, fig5, fig6, fig7,
-// fig8, fig9. Extensions: scale, summit, hermitian, pinning, factor, serve.
+// fig8, fig9. Extensions: scale, summit, hermitian, pinning, factor, serve,
+// batch.
 package main
 
 import (
@@ -52,7 +59,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1,fig2,fig3,table2,fig4,fig5,fig6,fig7,fig8,fig9,scale,summit,hermitian,pinning,factor,bign,sweep,serve,all")
+	exp := flag.String("exp", "all", "experiment: table1,fig2,fig3,table2,fig4,fig5,fig6,fig7,fig8,fig9,scale,summit,hermitian,pinning,factor,bign,sweep,serve,batch,all")
 	platformFlag := flag.String("platform", "",
 		"simulated platform from the topology registry (empty = the DGX-1 of the paper); an unknown name lists the registered platforms and exits nonzero")
 	quick := flag.Bool("quick", false, "reduced sizes and repetitions")
@@ -92,9 +99,13 @@ func main() {
 	backpressureFlag := flag.String("backpressure", "reject",
 		"serve experiment: policy when the admission queue is full — reject (typed error) or block (unbounded spill)")
 	serveJSON := flag.String("serve-json", "", "serve experiment: write the report's metrics snapshot as JSON to this path")
+	batchCount := flag.Int("batch-count", 0,
+		"batch experiment: pin the batch size (instances per request) instead of sweeping the default grid (0 = sweep)")
+	batchN := flag.Int("batch-n", 0,
+		"batch experiment: pin the square instance dimension instead of sweeping the default grid (0 = sweep)")
 	flag.Parse()
 
-	if msg := flagProblem(*window, *parallel, *simWorkers); msg != "" {
+	if msg := flagProblem(*window, *parallel, *simWorkers, *batchCount, *batchN); msg != "" {
 		fmt.Fprintf(os.Stderr, "xkbench: %s\n", msg)
 		flag.Usage()
 		os.Exit(2)
@@ -194,6 +205,8 @@ func main() {
 				os.Exit(2)
 			}
 			points = append(points, pts...)
+		case "batch":
+			bench.BatchSweep(w, *quick, *batchCount, *batchN)
 		case "serve":
 			cfg, err := serveConfig(*fleetFlag, *arrivalFlag, *backpressureFlag,
 				*tenants, *requests, *qdepth, *parallel, *rate, *seed, *quick, *checkFlag, ctx)
@@ -293,11 +306,12 @@ func main() {
 	}
 }
 
-// flagProblem validates the concurrency/window flags, returning a
-// diagnostic message (empty = valid). -window 0 means "whole graph", so
-// only negatives are nonsense there; a parallelism or engine-worker count
-// below 1 has no meaning at all and used to be accepted silently.
-func flagProblem(window, parallel, simWorkers int) string {
+// flagProblem validates the concurrency/window/batch flags, returning a
+// diagnostic message (empty = valid). -window 0 means "whole graph" and
+// -batch-count/-batch-n 0 mean "sweep the default grid", so only negatives
+// are nonsense there; a parallelism or engine-worker count below 1 has no
+// meaning at all and used to be accepted silently.
+func flagProblem(window, parallel, simWorkers, batchCount, batchN int) string {
 	switch {
 	case window < 0:
 		return fmt.Sprintf("-window must be >= 0, got %d", window)
@@ -305,6 +319,10 @@ func flagProblem(window, parallel, simWorkers int) string {
 		return fmt.Sprintf("-parallel must be >= 1, got %d", parallel)
 	case simWorkers < 1:
 		return fmt.Sprintf("-sim-workers must be >= 1, got %d", simWorkers)
+	case batchCount < 0:
+		return fmt.Sprintf("-batch-count must be >= 0, got %d", batchCount)
+	case batchN < 0:
+		return fmt.Sprintf("-batch-n must be >= 0, got %d", batchN)
 	}
 	return ""
 }

@@ -301,6 +301,30 @@ func TestServeExperimentDeterministic(t *testing.T) {
 	}
 }
 
+// TestBatchExperimentDeterministic drives the -exp batch path end to end
+// at one pinned sweep point (-batch-count 8 -batch-n 256): the rendered
+// table must be byte-identical across the sweep's -parallel fan-out.
+func TestBatchExperimentDeterministic(t *testing.T) {
+	run := func(parallel int) string {
+		t.Helper()
+		old := bench.DefaultParallelism
+		bench.DefaultParallelism = parallel
+		defer func() { bench.DefaultParallelism = old }()
+		var buf bytes.Buffer
+		bench.BatchSweep(&buf, true /* quick */, 8, 256)
+		return buf.String()
+	}
+	a, b := run(1), run(8)
+	if a != b {
+		t.Fatalf("batch sweep differs across -parallel:\n%s\nvs\n%s", a, b)
+	}
+	for _, want := range []string{"model crossover", "crossover GF/s", "routed d/h"} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("batch sweep output lacks %q:\n%s", want, a)
+		}
+	}
+}
+
 // TestServeConfigRejectsBadFlags pins flag validation to exit-code-2
 // errors rather than mid-run surprises.
 func TestServeConfigRejectsBadFlags(t *testing.T) {
@@ -322,26 +346,30 @@ func TestServeConfigRejectsBadFlags(t *testing.T) {
 // usage diagnostic. -window 0 stays valid — it means "whole graph".
 func TestFlagProblemRejectsBadConcurrency(t *testing.T) {
 	for _, tc := range []struct {
-		window, parallel, simWorkers int
-		bad                          string // substring of the expected message; "" = valid
+		window, parallel, simWorkers, batchCount, batchN int
+		bad                                              string // substring of the expected message; "" = valid
 	}{
-		{0, 1, 1, ""},
-		{16, 8, 8, ""},
-		{-1, 1, 1, "-window"},
-		{0, 0, 1, "-parallel"},
-		{0, -3, 1, "-parallel"},
-		{0, 1, 0, "-sim-workers"},
-		{0, 1, -8, "-sim-workers"},
+		{0, 1, 1, 0, 0, ""},
+		{16, 8, 8, 64, 256, ""},
+		{-1, 1, 1, 0, 0, "-window"},
+		{0, 0, 1, 0, 0, "-parallel"},
+		{0, -3, 1, 0, 0, "-parallel"},
+		{0, 1, 0, 0, 0, "-sim-workers"},
+		{0, 1, -8, 0, 0, "-sim-workers"},
+		{0, 1, 1, -1, 0, "-batch-count"},
+		{0, 1, 1, 0, -64, "-batch-n"},
 	} {
-		msg := flagProblem(tc.window, tc.parallel, tc.simWorkers)
+		msg := flagProblem(tc.window, tc.parallel, tc.simWorkers, tc.batchCount, tc.batchN)
 		if tc.bad == "" {
 			if msg != "" {
-				t.Errorf("flagProblem(%d,%d,%d) = %q, want valid", tc.window, tc.parallel, tc.simWorkers, msg)
+				t.Errorf("flagProblem(%d,%d,%d,%d,%d) = %q, want valid",
+					tc.window, tc.parallel, tc.simWorkers, tc.batchCount, tc.batchN, msg)
 			}
 			continue
 		}
 		if !strings.Contains(msg, tc.bad) {
-			t.Errorf("flagProblem(%d,%d,%d) = %q, want mention of %s", tc.window, tc.parallel, tc.simWorkers, msg, tc.bad)
+			t.Errorf("flagProblem(%d,%d,%d,%d,%d) = %q, want mention of %s",
+				tc.window, tc.parallel, tc.simWorkers, tc.batchCount, tc.batchN, msg, tc.bad)
 		}
 	}
 }

@@ -323,12 +323,10 @@ func submitRoutine(h *core.Handle, r blasops.Routine, ms []*xkrt.Matrix) {
 	}
 }
 
-// gflops converts a virtual duration into the paper's GFlop/s metric.
+// gflops converts a virtual duration into the paper's GFlop/s metric for
+// one square-N routine call (thin wrapper over the shared blasops helper).
 func gflops(r blasops.Routine, n int, d sim.Time) float64 {
-	if d <= 0 {
-		return 0
-	}
-	return blasops.FlopsSquare(r, n) / float64(d) / 1e9
+	return blasops.GFlops(blasops.FlopsSquare(r, n), float64(d))
 }
 
 // runStandard executes the common measurement protocol on a prepared
@@ -497,10 +495,7 @@ func (l *StdLib) RunComposition(req Request) (res Result) {
 	}
 	el := end - t0
 	flops := blasops.FlopsSquare(blasops.Trsm, n) + blasops.FlopsSquare(blasops.Gemm, n)
-	gf := 0.0
-	if el > 0 {
-		gf = flops / float64(el) / 1e9
-	}
+	gf := blasops.GFlops(flops, float64(el))
 	if rec != nil {
 		rec.Decisions = h.RT.Decisions()
 	}

@@ -1,0 +1,280 @@
+package baseline
+
+import (
+	"xkblas/internal/blasops"
+	"xkblas/internal/device"
+	"xkblas/internal/matrix"
+	"xkblas/internal/sim"
+	"xkblas/internal/topology"
+	"xkblas/internal/xkrt"
+)
+
+// DispatchMode selects how RunBatched routes batch instances between the
+// host BLAS path and the tiled device path.
+type DispatchMode int
+
+const (
+	// DispatchAuto routes each instance by the model-derived crossover:
+	// an instance goes to the host when the host model predicts a lower
+	// marginal cost than the device model (kernel calibration + routed
+	// transfer bandwidths, amortized over the device lanes the batch can
+	// occupy).
+	DispatchAuto DispatchMode = iota
+	// DispatchDeviceOnly forces every instance down the tiled device path.
+	DispatchDeviceOnly
+	// DispatchHostOnly forces every instance onto the host BLAS server.
+	DispatchHostOnly
+)
+
+func (m DispatchMode) String() string {
+	switch m {
+	case DispatchDeviceOnly:
+		return "device-only"
+	case DispatchHostOnly:
+		return "host-only"
+	default:
+		return "crossover"
+	}
+}
+
+// operandDims lists the operand shapes of one batch instance under the
+// fixed flag conventions of submitRoutine (Left/Lower/NoTrans): every
+// operand uploads before the call (the written operand is read-modified
+// with beta = 1), and the written operand — the last listed — writes back.
+// It is the single shape source shared by operand registration and the
+// dispatch model's byte estimates.
+func operandDims(r blasops.Routine, bi blasops.BatchInstance) [][2]int {
+	switch r {
+	case blasops.Gemm:
+		return [][2]int{{bi.M, bi.K}, {bi.K, bi.N}, {bi.M, bi.N}}
+	case blasops.Symm:
+		return [][2]int{{bi.M, bi.M}, {bi.M, bi.N}, {bi.M, bi.N}}
+	case blasops.Syr2k:
+		return [][2]int{{bi.N, bi.K}, {bi.N, bi.K}, {bi.N, bi.N}}
+	case blasops.Syrk:
+		return [][2]int{{bi.N, bi.K}, {bi.N, bi.N}}
+	case blasops.Trmm, blasops.Trsm:
+		return [][2]int{{bi.M, bi.M}, {bi.M, bi.N}}
+	default:
+		return nil
+	}
+}
+
+// DispatchModel predicts, per platform, whether a batch instance runs
+// faster on the host BLAS path or the tiled device path. Nothing in it is
+// hard-coded per size: the device side comes from the platform's kernel
+// calibration (device.KernelModel) plus the routed host-link bandwidths of
+// its fabric graph (topology.Platform.Route), the host side from the host
+// CPU calibration — so the crossover threshold falls out of the same
+// models the simulator charges time with, and differs across platforms
+// exactly where their fabrics differ (a PCIe-host DGX-1 crosses over far
+// later than an NVLink-host Summit node).
+type DispatchModel struct {
+	Topo *topology.Platform
+	Dev  *device.KernelModel
+	Host *device.KernelModel
+
+	// GPULanes is the number of device lanes a batch can spread over.
+	GPULanes int
+	// AggUpGBs / AggDownGBs are the aggregate host→device / device→host
+	// bandwidths with every lane active: each route's effective rate is its
+	// slowest hop after dividing shared hops by the lanes crossing them (a
+	// QPI bridge carrying four routes gives each a quarter), summed over
+	// lanes.
+	AggUpGBs   float64
+	AggDownGBs float64
+
+	// upByLanes[l-1] / downByLanes[l-1] are the same aggregates with only
+	// the first l lanes streaming (fewer lanes share less).
+	upByLanes   []float64
+	downByLanes []float64
+
+	// Window is the per-device pipeline depth of the runtime that will
+	// execute the batch, and NB its tile size. Together they bound the lane
+	// count of sub-tile instances: a sub-NB instance is a single task, and
+	// the runtime's eager admission lets an idle device steal each task the
+	// moment it is admitted — regardless of its owner-computes home — so one
+	// device's window fills before the next device sees work, and a batch of
+	// count single-task instances occupies ceil(count/Window) devices, not
+	// count. Multi-tile instances spread tile-by-tile over the block-cyclic
+	// grid and reach every lane. NB = 0 (unknown tiling) keeps the
+	// optimistic min(count, GPULanes).
+	Window int
+	NB     int
+}
+
+// NewDispatchModel builds the dispatch model for a topology with the
+// default device and host calibrations (the same models
+// device.NewPlatform installs).
+func NewDispatchModel(topo *topology.Platform) *DispatchModel {
+	return newDispatchModel(topo, device.DefaultKernelModel(topo.GPU.PeakFP64), device.DefaultHostModel())
+}
+
+// dispatchModelFor builds the model from a live platform, reusing its
+// installed calibrations. Decisions use KernelModel.Time, which never
+// applies jitter, so they are deterministic even on noise-armed handles.
+func dispatchModelFor(p *device.Platform) *DispatchModel {
+	return newDispatchModel(p.Topo, p.Model, p.HostModel)
+}
+
+func newDispatchModel(topo *topology.Platform, dev, host *device.KernelModel) *DispatchModel {
+	m := &DispatchModel{Topo: topo, Dev: dev, Host: host, GPULanes: topo.NumGPUs,
+		Window: xkrt.DefaultOptions().Window}
+	for l := 1; l <= m.GPULanes; l++ {
+		m.upByLanes = append(m.upByLanes, aggregateHostBandwidth(topo, true, l))
+		m.downByLanes = append(m.downByLanes, aggregateHostBandwidth(topo, false, l))
+	}
+	m.AggUpGBs = m.upByLanes[m.GPULanes-1]
+	m.AggDownGBs = m.downByLanes[m.GPULanes-1]
+	return m
+}
+
+// aggregateHostBandwidth reports the total host↔GPU bandwidth the first
+// `lanes` GPUs sustain when streaming concurrently: every hop of a route
+// divides its bandwidth by the number of active routes crossing it (FIFO
+// links serve full payloads back to back, so concurrent transfers through
+// a shared switch uplink or inter-socket bridge each see its fair share),
+// a route's effective rate is its slowest shared hop, and lanes sum.
+func aggregateHostBandwidth(topo *topology.Platform, up bool, lanes int) float64 {
+	gpus := topo.GPUs()
+	if lanes > len(gpus) {
+		lanes = len(gpus)
+	}
+	routes := make([][]*topology.Edge, 0, lanes)
+	crossing := make(map[*topology.Edge]int)
+	for _, g := range gpus[:lanes] {
+		src, dst := topology.Host, g
+		if !up {
+			src, dst = g, topology.Host
+		}
+		path := topo.Route(src, dst)
+		if path == nil || len(path.Hops) == 0 {
+			continue
+		}
+		routes = append(routes, path.Hops)
+		for _, e := range path.Hops {
+			crossing[e]++
+		}
+	}
+	var agg float64
+	for _, hops := range routes {
+		rate := hops[0].BandwidthGBs / float64(crossing[hops[0]])
+		for _, e := range hops[1:] {
+			if r := e.BandwidthGBs / float64(crossing[e]); r < rate {
+				rate = r
+			}
+		}
+		agg += rate
+	}
+	return agg
+}
+
+// singleTile reports whether the instance's output fits one NB tile, the
+// single-task regime described on the Window field. NB = 0 (unknown
+// tiling) disables it.
+func (m *DispatchModel) singleTile(r blasops.Routine, bi blasops.BatchInstance) bool {
+	if m.NB <= 0 {
+		return false
+	}
+	dims := operandDims(r, bi)
+	if dims == nil {
+		return false
+	}
+	out := dims[len(dims)-1]
+	return out[0] <= m.NB && out[1] <= m.NB
+}
+
+// lanes reports how many device lanes a batch of count instances of this
+// shape occupies — min(count, GPULanes), further capped at
+// ceil(count/Window) in the single-task regime — and whether that window
+// cap was what bound it.
+func (m *DispatchModel) lanes(r blasops.Routine, bi blasops.BatchInstance, count int) (l int, windowCapped bool) {
+	l = m.GPULanes
+	if count < l {
+		l = count
+	}
+	if m.Window > 0 && m.singleTile(r, bi) {
+		if wl := (count + m.Window - 1) / m.Window; wl < l {
+			l, windowCapped = wl, true
+		}
+	}
+	if l < 1 {
+		l = 1
+	}
+	return l, windowCapped
+}
+
+// laneStages predicts the two per-instance stages of one device lane:
+// the transfer stage (upload every operand at the lane's share of the
+// aggregate host link, write the output back, plus launch overheads) and
+// the kernel stage.
+func (m *DispatchModel) laneStages(r blasops.Routine, bi blasops.BatchInstance, lanes int) (xfer, kern sim.Time) {
+	dims := operandDims(r, bi)
+	var upBytes float64
+	for _, d := range dims {
+		upBytes += float64(d[0]) * float64(d[1]) * matrix.WordSize
+	}
+	out := dims[len(dims)-1]
+	downBytes := float64(out[0]) * float64(out[1]) * matrix.WordSize
+	upGBs := m.upByLanes[lanes-1] / float64(lanes)
+	downGBs := m.downByLanes[lanes-1] / float64(lanes)
+	xfer = sim.Time(float64(len(dims)+1)) * device.TransferOverhead
+	xfer += sim.Time(upBytes/(upGBs*1e9)) + sim.Time(downBytes/(downGBs*1e9))
+	kern = m.Dev.Time(r, bi.Flops(r), bi.M, bi.N, bi.K)
+	return xfer, kern
+}
+
+// DeviceCost predicts the marginal per-instance cost of the device path
+// inside a batch of count instances: each of the lanes the batch occupies
+// processes count/lanes instances, so per instance the batch makespan
+// grows by the lane time divided by the lane count. The lane time is the
+// serial sum of the transfer and kernel stages — when every lane streams,
+// the shared host fabric is saturated and transfers cannot hide — except
+// in the window-capped regime, where the few active devices each hold a
+// full pipeline window of independent instances and the idle fabric has
+// headroom to prefetch the next instance's operands under the running
+// kernel, so the steady-state lane time is the slower stage alone.
+func (m *DispatchModel) DeviceCost(r blasops.Routine, bi blasops.BatchInstance, count int) sim.Time {
+	l, windowCapped := m.lanes(r, bi, count)
+	xfer, kern := m.laneStages(r, bi, l)
+	t := xfer + kern
+	if windowCapped {
+		t = xfer
+		if kern > t {
+			t = kern
+		}
+	}
+	return t / sim.Time(l)
+}
+
+// HostCost predicts the marginal per-instance cost of the host path: the
+// host BLAS server runs calls serially, with no transfer to pay.
+func (m *DispatchModel) HostCost(r blasops.Routine, bi blasops.BatchInstance) sim.Time {
+	return m.Host.Time(r, bi.Flops(r), bi.M, bi.N, bi.K)
+}
+
+// UseHost reports the crossover decision for one instance of a
+// count-instance batch: host when the host model predicts a strictly
+// lower marginal cost.
+func (m *DispatchModel) UseHost(r blasops.Routine, bi blasops.BatchInstance, count int) bool {
+	if operandDims(r, bi) == nil {
+		return false
+	}
+	return m.HostCost(r, bi) < m.DeviceCost(r, bi, count)
+}
+
+// CrossoverN reports the smallest square instance dimension at which the
+// device path overtakes the host path for a batch of count instances —
+// the per-platform dispatch threshold, derived entirely from the kernel
+// and transfer models. Returns maxN+1 when the device never overtakes
+// within the scanned range.
+func (m *DispatchModel) CrossoverN(r blasops.Routine, count int) int {
+	const maxN = 8192
+	for n := 1; n <= maxN; n++ {
+		bi := blasops.BatchInstance{M: n, N: n, K: n}
+		if !m.UseHost(r, bi, count) {
+			return n
+		}
+	}
+	return maxN + 1
+}

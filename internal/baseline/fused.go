@@ -55,10 +55,7 @@ func (l *StdLib) RunFused(req Request, count int) (res Result) {
 		return Result{Err: err, Rec: rec}
 	}
 	el := end - t0
-	gf := 0.0
-	if el > 0 {
-		gf = float64(count) * blasops.FlopsSquare(req.Routine, req.N) / float64(el) / 1e9
-	}
+	gf := blasops.GFlops(float64(count)*blasops.FlopsSquare(req.Routine, req.N), float64(el))
 	if rec != nil {
 		rec.Decisions = h.RT.Decisions()
 	}

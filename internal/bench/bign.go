@@ -111,10 +111,7 @@ func RunBigNGemm(cfg BigNConfig) (res BigNResult) {
 
 // bigNGflops converts a virtual duration into GFlop/s (square problem).
 func bigNGflops(r blasops.Routine, n int, d sim.Time) float64 {
-	if d <= 0 {
-		return 0
-	}
-	return blasops.FlopsSquare(r, n) / float64(d) / 1e9
+	return blasops.GFlops(blasops.FlopsSquare(r, n), float64(d))
 }
 
 // bigNLine renders one run for the report.

@@ -215,10 +215,7 @@ func measureFactor(r blasops.Routine, n, nb int, panelSync bool) float64 {
 	}
 	h.MemoryCoherentAsync(A)
 	el := h.Sync() - t0
-	if el <= 0 {
-		return 0
-	}
-	return blasops.FlopsSquare(r, n) / float64(el) / 1e9
+	return blasops.GFlops(blasops.FlopsSquare(r, n), float64(el))
 }
 
 // PinningCost quantifies the methodology note of §IV-A: every library
@@ -259,10 +256,7 @@ func measureGemmPinning(n, nb int, chargePin bool) float64 {
 	h.GemmAsync(core.NoTrans, core.NoTrans, 1, a, b, 1, c)
 	h.MemoryCoherentAsync(c)
 	el := h.Sync() - t0
-	if el <= 0 {
-		return 0
-	}
-	return blasops.FlopsSquare(blasops.Gemm, n) / float64(el) / 1e9
+	return blasops.GFlops(blasops.FlopsSquare(blasops.Gemm, n), float64(el))
 }
 
 func measureHermitian(r blasops.Routine, n, nb int) float64 {
@@ -290,8 +284,5 @@ func measureHermitian(r blasops.Routine, n, nb int) float64 {
 		panic(fmt.Sprintf("bench: %v is not a Hermitian-set routine", r))
 	}
 	el := h.Sync() - t0
-	if el <= 0 {
-		return 0
-	}
-	return blasops.FlopsSquare(r, n) / float64(el) / 1e9
+	return blasops.GFlops(blasops.FlopsSquare(r, n), float64(el))
 }

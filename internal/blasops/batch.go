@@ -1,0 +1,77 @@
+package blasops
+
+import "fmt"
+
+// GFlops converts an operation count and an elapsed duration (in seconds)
+// into the GFlop/s figure the paper's tables report. Nonpositive durations
+// report 0 rather than an infinity: a zero-length run measured nothing.
+// This is the single shared conversion behind every harness report
+// (baseline results, the big-N demo, the ablation experiments).
+func GFlops(flops, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return flops / seconds / 1e9
+}
+
+// BatchInstance is the problem shape of one member of a batched call,
+// using the same (m, n, k) dimension convention as Flops.
+type BatchInstance struct {
+	M, N, K int
+}
+
+// Flops reports the operation count of this instance under routine r.
+func (bi BatchInstance) Flops(r Routine) float64 {
+	return Flops(r, bi.M, bi.N, bi.K)
+}
+
+// Batch describes one batched level-3 BLAS request: a single routine
+// applied to many independent small problem instances (the KBLAS-style
+// "one request = thousands of small GEMMs" workload). Instances may be
+// non-uniform; each carries its own dimensions.
+type Batch struct {
+	Routine   Routine
+	Instances []BatchInstance
+}
+
+// Count reports the number of instances in the batch.
+func (b Batch) Count() int { return len(b.Instances) }
+
+// Validate checks the descriptor: the batch must contain at least one
+// instance and every instance dimension must be positive.
+func (b Batch) Validate() error {
+	if b.Routine < 0 || b.Routine >= numRoutines {
+		return fmt.Errorf("blasops: batch has unknown routine %d", int(b.Routine))
+	}
+	if len(b.Instances) == 0 {
+		return fmt.Errorf("blasops: %v batch has zero instances", b.Routine)
+	}
+	for i, bi := range b.Instances {
+		if bi.M <= 0 || bi.N <= 0 || bi.K <= 0 {
+			return fmt.Errorf("blasops: %v batch instance %d has nonpositive dims %dx%dx%d",
+				b.Routine, i, bi.M, bi.N, bi.K)
+		}
+	}
+	return nil
+}
+
+// Flops reports the total operation count of the batch (sum over
+// instances).
+func (b Batch) Flops() float64 {
+	var total float64
+	for _, bi := range b.Instances {
+		total += bi.Flops(b.Routine)
+	}
+	return total
+}
+
+// UniformBatch builds a batch of count identical m×n×k instances — the
+// shape of the benchmark sweeps and of the serving layer's batched
+// request kind.
+func UniformBatch(r Routine, count, m, n, k int) Batch {
+	b := Batch{Routine: r, Instances: make([]BatchInstance, count)}
+	for i := range b.Instances {
+		b.Instances[i] = BatchInstance{M: m, N: n, K: k}
+	}
+	return b
+}

@@ -1,0 +1,112 @@
+package blasops
+
+import (
+	"strings"
+	"testing"
+)
+
+// everyRoutine lists all twelve routine identifiers, including the
+// factorizations that sit outside All()/Hermitian().
+func everyRoutine() []Routine {
+	rs := append(All(), Hermitian()...)
+	return append(rs, Potrf, Getrf)
+}
+
+// TestFlopsRectangular pins the operation count of every routine at a
+// rectangular shape with m ≠ n ≠ k, against the LAPACK working-note
+// formulas spelled out in the Flops doc comment.
+func TestFlopsRectangular(t *testing.T) {
+	const m, n, k = 7, 11, 13
+	fm, fn, fk := float64(m), float64(n), float64(k)
+	want := map[Routine]float64{
+		Gemm:  2 * fm * fn * fk,
+		Symm:  2 * fm * fm * fn,
+		Syr2k: 2 * fk * fn * (fn + 1),
+		Syrk:  fk * fn * (fn + 1),
+		Trmm:  fn * fm * fm,
+		Trsm:  fn * fm * fm,
+		Zgemm: 8 * fm * fn * fk,
+		Hemm:  8 * fm * fm * fn,
+		Her2k: 8 * fk * fn * (fn + 1),
+		Herk:  4 * fk * fn * (fn + 1),
+		Potrf: fn * fn * fn / 3,
+		Getrf: 2 * fn * fn * fn / 3,
+	}
+	for _, r := range everyRoutine() {
+		if got := Flops(r, m, n, k); got != want[r] {
+			t.Errorf("Flops(%v,%d,%d,%d) = %g, want %g", r, m, n, k, got, want[r])
+		}
+	}
+}
+
+// TestFlopsSquareDiagonal proves FlopsSquare is exactly the m=n=k diagonal
+// of Flops for every routine.
+func TestFlopsSquareDiagonal(t *testing.T) {
+	for _, r := range everyRoutine() {
+		for _, n := range []int{1, 17, 256} {
+			if FlopsSquare(r, n) != Flops(r, n, n, n) {
+				t.Errorf("%v: FlopsSquare(%d) != Flops(%d,%d,%d)", r, n, n, n, n)
+			}
+		}
+	}
+}
+
+// TestGFlopsGuards covers the zero/negative-duration guard and the happy
+// path of the shared conversion helper.
+func TestGFlopsGuards(t *testing.T) {
+	if got := GFlops(1e12, 0); got != 0 {
+		t.Fatalf("GFlops(_, 0) = %g, want 0", got)
+	}
+	if got := GFlops(1e12, -2.5); got != 0 {
+		t.Fatalf("GFlops(_, -2.5) = %g, want 0", got)
+	}
+	if got := GFlops(0, 0); got != 0 {
+		t.Fatalf("GFlops(0, 0) = %g, want 0", got)
+	}
+	if got := GFlops(2e12, 2); got != 1000 {
+		t.Fatalf("GFlops(2e12, 2) = %g, want 1000", got)
+	}
+}
+
+// TestBatchValidate covers the descriptor validation errors: zero count,
+// nonpositive instance dims, unknown routine — and the valid cases.
+func TestBatchValidate(t *testing.T) {
+	if err := (Batch{Routine: Gemm}).Validate(); err == nil ||
+		!strings.Contains(err.Error(), "zero instances") {
+		t.Fatalf("empty batch: err = %v, want zero-instances error", err)
+	}
+	bad := []BatchInstance{{M: 0, N: 4, K: 4}, {M: 4, N: -1, K: 4}, {M: 4, N: 4, K: 0}}
+	for _, bi := range bad {
+		b := Batch{Routine: Gemm, Instances: []BatchInstance{{M: 2, N: 2, K: 2}, bi}}
+		if err := b.Validate(); err == nil ||
+			!strings.Contains(err.Error(), "instance 1") {
+			t.Fatalf("instance %+v: err = %v, want nonpositive-dims error naming instance 1", bi, err)
+		}
+	}
+	if err := (Batch{Routine: Routine(99), Instances: []BatchInstance{{M: 1, N: 1, K: 1}}}).Validate(); err == nil {
+		t.Fatal("unknown routine: want error")
+	}
+	ok := UniformBatch(Gemm, 3, 8, 8, 8)
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("uniform batch: %v", err)
+	}
+	if ok.Count() != 3 {
+		t.Fatalf("Count() = %d, want 3", ok.Count())
+	}
+}
+
+// TestBatchFlops checks the total is the per-instance sum, for both
+// uniform and mixed-shape batches.
+func TestBatchFlops(t *testing.T) {
+	u := UniformBatch(Gemm, 4, 16, 16, 16)
+	if got, want := u.Flops(), 4*Flops(Gemm, 16, 16, 16); got != want {
+		t.Fatalf("uniform batch flops = %g, want %g", got, want)
+	}
+	mixed := Batch{Routine: Trsm, Instances: []BatchInstance{
+		{M: 8, N: 4, K: 8}, {M: 16, N: 2, K: 16},
+	}}
+	want := Flops(Trsm, 8, 4, 8) + Flops(Trsm, 16, 2, 16)
+	if got := mixed.Flops(); got != want {
+		t.Fatalf("mixed batch flops = %g, want %g", got, want)
+	}
+}

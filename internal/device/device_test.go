@@ -319,12 +319,12 @@ func TestPlatformMetricsPublication(t *testing.T) {
 
 // p0Resources asserts the classed-resource list is complete: 4 per-GPU
 // resources, every NVLink, both directions of every PCIe switch, one QPI
-// lane per socket and the pinner.
+// lane per socket, the pinner and the host BLAS server.
 func p0Resources(t *testing.T) []ClassedResource {
 	t.Helper()
 	_, p := newDGX1()
 	rs := p.Resources()
-	want := 4*len(p.GPUs) + 2*p.Topo.NumPCIeSwitches() + p.Topo.NumSockets() + 1
+	want := 4*len(p.GPUs) + 2*p.Topo.NumPCIeSwitches() + p.Topo.NumSockets() + 2
 	nvlinks := 0
 	for _, cr := range rs {
 		if cr.Class == ClassNVLink {

@@ -35,7 +35,9 @@ func (p *Platform) PublishMetrics(reg *metrics.Registry) {
 	for c := ResourceClass(0); c < numResourceClasses; c++ {
 		name := "class." + c.String()
 		unit := ".bytes"
-		if c == ClassKernel {
+		if c == ClassKernel || c == ClassHost {
+			// Kernel streams and the host BLAS server serve effective
+			// flops; everything else serves bytes.
 			unit = ".flops"
 		}
 		reg.Gauge(name + unit).Set(units[c])

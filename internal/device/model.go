@@ -64,6 +64,39 @@ func DefaultKernelModel(peak float64) *KernelModel {
 	}
 }
 
+// DefaultHostModel returns the host CPU compute model used by the batched
+// host/device dispatch path: a dual-socket Broadwell-class Xeon node (the
+// DGX-1 host) peaks around 1.4 TFlop/s FP64 — roughly 5.6× below a single
+// V100 — but a host BLAS call has no DMA transfer to pay and a far smaller
+// launch overhead, and small cache-resident matrices approach the
+// achievable rate quickly (HalfDim 16 vs the GPU's 96). The crossover
+// between this model and the device kernel+transfer model is what the
+// dispatch layer computes per platform.
+func DefaultHostModel() *KernelModel {
+	return &KernelModel{
+		PeakFP64:       1.4e12,
+		LaunchOverhead: sim.Microseconds(1),
+		MaxEff:         0.90,
+		HalfDim:        16,
+		RoutineEff: map[blasops.Routine]float64{
+			blasops.Gemm:  1.00,
+			blasops.Symm:  0.95,
+			blasops.Syr2k: 0.95,
+			blasops.Syrk:  0.93,
+			blasops.Trmm:  0.90,
+			// Host TRSM stays much closer to GEMM rate than the GPU's
+			// latency-bound triangular-solve tile kernels.
+			blasops.Trsm:  0.80,
+			blasops.Zgemm: 1.00,
+			blasops.Hemm:  0.95,
+			blasops.Her2k: 0.95,
+			blasops.Herk:  0.93,
+			blasops.Potrf: 0.50,
+			blasops.Getrf: 0.50,
+		},
+	}
+}
+
 // Eff reports the efficiency factor for a tile kernel of routine r with the
 // given dimensions.
 func (m *KernelModel) Eff(r blasops.Routine, mm, nn, kk int) float64 {

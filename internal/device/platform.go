@@ -70,6 +70,18 @@ type Platform struct {
 	// operation stream).
 	Pinner *sim.Server
 
+	// Host is the host CPU BLAS execution stream (one socket-parallel BLAS
+	// call at a time, the way a threaded CPU BLAS serializes calls), rated
+	// at HostModel.PeakFP64 effective flops per second. The batched
+	// dispatch crossover sends sub-threshold instances here instead of
+	// paying the device transfer cost. Runs that never dispatch to the
+	// host leave it idle — it generates no events and does not perturb the
+	// device-side event order.
+	Host *sim.Server
+
+	// HostModel converts routine shapes into host CPU execution times.
+	HostModel *KernelModel
+
 	// Links reports the active link model.
 	Links LinkModel
 
@@ -103,6 +115,7 @@ const (
 	ClassQPI
 	ClassNet
 	ClassPin
+	ClassHost
 	numResourceClasses
 )
 
@@ -127,6 +140,8 @@ func (c ResourceClass) String() string {
 		return "net"
 	case ClassPin:
 		return "pin"
+	case ClassHost:
+		return "host"
 	default:
 		return "unknown"
 	}
@@ -170,12 +185,15 @@ func NewPlatform(eng *sim.Engine, topo *topology.Platform) *Platform {
 
 // NewPlatformWithLinks instantiates topo with an explicit link model.
 func NewPlatformWithLinks(eng *sim.Engine, topo *topology.Platform, links LinkModel) *Platform {
+	hostModel := DefaultHostModel()
 	p := &Platform{
-		Eng:    eng,
-		Topo:   topo,
-		Model:  DefaultKernelModel(topo.GPU.PeakFP64),
-		Pinner: sim.NewServer(eng, "host.pin", PinRateGBs*1e9),
-		Links:  links,
+		Eng:       eng,
+		Topo:      topo,
+		Model:     DefaultKernelModel(topo.GPU.PeakFP64),
+		Pinner:    sim.NewServer(eng, "host.pin", PinRateGBs*1e9),
+		Host:      sim.NewServer(eng, "host.blas", hostModel.PeakFP64),
+		HostModel: hostModel,
+		Links:     links,
 	}
 	mkLink := func(name string, rate float64) sim.Resource {
 		if links == LinksFairShare {
@@ -227,6 +245,7 @@ func NewPlatformWithLinks(eng *sim.Engine, topo *topology.Platform, links LinkMo
 		p.resources = append(p.resources, ClassedResource{classOfEdge(e.Class), p.linkRes[e.ID]})
 	}
 	p.resources = append(p.resources, ClassedResource{ClassPin, p.Pinner})
+	p.resources = append(p.resources, ClassedResource{ClassHost, p.Host})
 
 	// Precompute every route's hop list so the transfer hot path never
 	// allocates and every transfer charges every hop of its fabric path.

@@ -41,10 +41,17 @@ var gemmWorkers atomic.Int32
 // default. The result is bit-identical at every setting.
 func SetParallelism(n int) { gemmWorkers.Store(int32(n)) }
 
-// Parallelism reports the effective Gemm worker count.
+// Parallelism reports the effective Gemm worker count. Per the
+// SetParallelism contract, every stored value ≤ 1 — including negatives —
+// selects the sequential kernel; only the 0 default falls back to
+// GOMAXPROCS.
 func Parallelism() int {
-	if n := int(gemmWorkers.Load()); n > 0 {
+	n := int(gemmWorkers.Load())
+	if n > 0 {
 		return n
+	}
+	if n < 0 {
+		return 1
 	}
 	return runtime.GOMAXPROCS(0)
 }

@@ -2,6 +2,7 @@ package hostblas
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"xkblas/internal/matrix"
@@ -71,6 +72,27 @@ func TestGemmParallelismKnob(t *testing.T) {
 	SetParallelism(0)
 	if Parallelism() < 1 {
 		t.Fatalf("default Parallelism() = %d, want ≥ 1", Parallelism())
+	}
+}
+
+// TestParallelismNegativeForcesSequential is the regression test for the
+// SetParallelism contract: "n ≤ 1 forces the sequential kernel". A stored
+// negative used to fall through the n > 0 check to the GOMAXPROCS default,
+// silently re-enabling the parallel kernel. GOMAXPROCS is pinned above 1
+// so the test fails on the buggy fallthrough even on single-CPU hosts.
+func TestParallelismNegativeForcesSequential(t *testing.T) {
+	defer SetParallelism(0)
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	for _, n := range []int{-1, -3, -100} {
+		SetParallelism(n)
+		if got := Parallelism(); got != 1 {
+			t.Fatalf("SetParallelism(%d): Parallelism() = %d, want 1 (sequential)", n, got)
+		}
+	}
+	SetParallelism(0)
+	if got := Parallelism(); got != 4 {
+		t.Fatalf("SetParallelism(0): Parallelism() = %d, want the GOMAXPROCS default 4", got)
 	}
 }
 

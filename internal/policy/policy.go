@@ -62,6 +62,13 @@ type Decisions struct {
 	// idle device by work stealing.
 	OwnerHits int64
 	Steals    int64
+
+	// Host/device dispatch outcomes of batched small-op requests: for each
+	// batch instance the model-derived crossover either sends it down the
+	// tiled device path (DispatchDevice) or executes it on the host BLAS
+	// server, skipping the transfer cost entirely (DispatchHost).
+	DispatchDevice int64
+	DispatchHost   int64
 }
 
 // Counters is the live, registry-backed form of Decisions: one
@@ -85,6 +92,9 @@ type Counters struct {
 
 	OwnerHits *metrics.Counter
 	Steals    *metrics.Counter
+
+	DispatchDevice *metrics.Counter
+	DispatchHost   *metrics.Counter
 }
 
 // NewCounters registers the decision counters on reg (nil reg yields no-op
@@ -102,6 +112,10 @@ func NewCounters(reg *metrics.Registry) *Counters {
 		EvictDirtySkipped: reg.Counter("policy.evict.dirty_skipped"),
 		OwnerHits:         reg.Counter("policy.sched.owner_hits"),
 		Steals:            reg.Counter("policy.sched.steals"),
+		// The dispatch pair keeps its own prefix: it counts a request-level
+		// routing decision, not a per-tile runtime policy choice.
+		DispatchDevice: reg.Counter("dispatch.device"),
+		DispatchHost:   reg.Counter("dispatch.host"),
 	}
 }
 
@@ -122,6 +136,8 @@ func (c *Counters) Snapshot() Decisions {
 		EvictDirtySkipped: c.EvictDirtySkipped.Value(),
 		OwnerHits:         c.OwnerHits.Value(),
 		Steals:            c.Steals.Value(),
+		DispatchDevice:    c.DispatchDevice.Value(),
+		DispatchHost:      c.DispatchHost.Value(),
 	}
 }
 
@@ -136,6 +152,19 @@ func (c *Counters) countChainTaken() {
 func (c *Counters) countChainMissed() {
 	if c != nil {
 		c.ChainsMissed.Add(1)
+	}
+}
+
+// CountDispatch records one batch-instance dispatch decision: host = true
+// for the host BLAS path, false for the tiled device path (nil-safe).
+func (c *Counters) CountDispatch(host bool) {
+	if c == nil {
+		return
+	}
+	if host {
+		c.DispatchHost.Add(1)
+	} else {
+		c.DispatchDevice.Add(1)
 	}
 }
 
@@ -174,6 +203,8 @@ func (d *Decisions) Add(other Decisions) {
 	d.EvictDirtySkipped += other.EvictDirtySkipped
 	d.OwnerHits += other.OwnerHits
 	d.Steals += other.Steals
+	d.DispatchDevice += other.DispatchDevice
+	d.DispatchHost += other.DispatchHost
 }
 
 // Transfers reports the total number of counted transfer-source decisions.
@@ -182,12 +213,16 @@ func (d Decisions) Transfers() int64 {
 }
 
 func (d Decisions) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"src{nv2:%d nv1:%d pcie:%d net:%d host:%d} chain{taken:%d missed:%d} evict{clean:%d dirty-skip:%d} sched{owner:%d steal:%d}",
 		d.SrcNVLink2, d.SrcNVLink1, d.SrcPCIeP2P, d.SrcNet, d.SrcHost,
 		d.ChainsTaken, d.ChainsMissed,
 		d.EvictClean, d.EvictDirtySkipped,
 		d.OwnerHits, d.Steals)
+	if d.DispatchDevice != 0 || d.DispatchHost != 0 {
+		s += fmt.Sprintf(" dispatch{dev:%d host:%d}", d.DispatchDevice, d.DispatchHost)
+	}
+	return s
 }
 
 // TileView is the replica-placement view the policies consume: which

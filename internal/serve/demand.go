@@ -75,9 +75,10 @@ func (d *demandTable) get(k demandKey) demand {
 	return v
 }
 
-// measure runs the inner simulation for one key. Fused batches route
-// through RunFused; singletons through the standard protocol (a fused
-// batch of one is pinned to be identical).
+// measure runs the inner simulation for one key. Batched specs (Count > 1)
+// route through RunBatched under the model-derived dispatch crossover;
+// fused coalesced batches through RunFused; singletons through the
+// standard protocol (a fused batch of one is pinned to be identical).
 func (d *demandTable) measure(k demandKey) demand {
 	req := baseline.Request{
 		Routine:  k.spec.Routine,
@@ -90,17 +91,26 @@ func (d *demandTable) measure(k demandKey) demand {
 		Handles:  d.pools[k.platform],
 	}
 	var res baseline.Result
-	if k.count == 1 {
+	switch {
+	case k.spec.Count > 1:
+		res = d.lib.RunBatched(req,
+			blasops.UniformBatch(k.spec.Routine, k.spec.Count, k.spec.N, k.spec.N, k.spec.N),
+			baseline.DispatchAuto)
+	case k.count == 1:
 		res = d.lib.Run(req)
-	} else {
+	default:
 		res = d.lib.RunFused(req, k.count)
 	}
 	if res.Err != nil {
 		return demand{err: res.Err}
 	}
+	instances := k.count
+	if k.spec.Count > 1 {
+		instances = k.count * k.spec.Count
+	}
 	return demand{
 		seconds: float64(res.Elapsed),
-		flops:   float64(k.count) * blasops.FlopsSquare(k.spec.Routine, k.spec.N),
+		flops:   float64(instances) * blasops.FlopsSquare(k.spec.Routine, k.spec.N),
 	}
 }
 

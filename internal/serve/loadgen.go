@@ -51,9 +51,18 @@ func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
 type RequestSpec struct {
 	Routine blasops.Routine
 	N, NB   int
+	// Count, when above 1, makes this a batched request: Count independent
+	// N-square instances of the routine served as one unit through the
+	// host/device dispatch path (baseline.RunBatched). 0 and 1 are plain
+	// singletons. Batched requests bypass the fused-batching window — they
+	// already are a batch.
+	Count int
 }
 
 func (s RequestSpec) String() string {
+	if s.Count > 1 {
+		return fmt.Sprintf("%v/N%d/NB%d/x%d", s.Routine, s.N, s.NB, s.Count)
+	}
 	return fmt.Sprintf("%v/N%d/NB%d", s.Routine, s.N, s.NB)
 }
 
@@ -66,17 +75,20 @@ type MixEntry struct {
 // DefaultMix is the serving traffic shape: small-matrix requests dominate
 // the request count (the KBLAS observation about real BLAS traffic) with a
 // tail of large jobs that dominates the flops; TRSM/SYRK mix in dependency
-// structure beside the GEMMs.
+// structure beside the GEMMs, and one batched-interface kind (a KBLAS-style
+// batch of tiny GEMMs as a single request) exercises the host/device
+// dispatch crossover.
 func DefaultMix() []MixEntry {
 	return []MixEntry{
-		{28, RequestSpec{blasops.Gemm, 256, 256}},
-		{18, RequestSpec{blasops.Gemm, 512, 512}},
-		{8, RequestSpec{blasops.Trsm, 512, 512}},
-		{12, RequestSpec{blasops.Gemm, 1024, 512}},
-		{10, RequestSpec{blasops.Syrk, 2048, 1024}},
-		{14, RequestSpec{blasops.Gemm, 4096, 1024}},
-		{6, RequestSpec{blasops.Trsm, 4096, 1024}},
-		{4, RequestSpec{blasops.Gemm, 8192, 2048}},
+		{28, RequestSpec{blasops.Gemm, 256, 256, 0}},
+		{18, RequestSpec{blasops.Gemm, 512, 512, 0}},
+		{8, RequestSpec{blasops.Trsm, 512, 512, 0}},
+		{12, RequestSpec{blasops.Gemm, 1024, 512, 0}},
+		{10, RequestSpec{blasops.Syrk, 2048, 1024, 0}},
+		{14, RequestSpec{blasops.Gemm, 4096, 1024, 0}},
+		{6, RequestSpec{blasops.Trsm, 4096, 1024, 0}},
+		{4, RequestSpec{blasops.Gemm, 8192, 2048, 0}},
+		{6, RequestSpec{blasops.Gemm, 256, 512, 32}},
 	}
 }
 

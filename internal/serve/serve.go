@@ -431,7 +431,7 @@ func (s *server) onArrival(req *request) {
 	}
 	tn.tokens--
 
-	if s.cfg.BatchMax > 1 && req.spec.N < s.cfg.BatchThresholdN {
+	if s.cfg.BatchMax > 1 && req.spec.Count <= 1 && req.spec.N < s.cfg.BatchThresholdN {
 		s.addToBatch(req)
 		return
 	}
@@ -628,7 +628,7 @@ func (s *server) finish(req *request, o Outcome, at sim.Time) {
 	req.finished = at
 }
 
-// sortSpecs orders request specs deterministically (routine, N, NB).
+// sortSpecs orders request specs deterministically (routine, N, NB, Count).
 func sortSpecs(specs []RequestSpec) {
 	sort.Slice(specs, func(i, j int) bool {
 		a, b := specs[i], specs[j]
@@ -638,6 +638,9 @@ func sortSpecs(specs []RequestSpec) {
 		if a.N != b.N {
 			return a.N < b.N
 		}
-		return a.NB < b.NB
+		if a.NB != b.NB {
+			return a.NB < b.NB
+		}
+		return a.Count < b.Count
 	})
 }

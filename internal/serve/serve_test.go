@@ -19,8 +19,8 @@ func testConfig() Config {
 	cfg.RatePerSec = 100
 	cfg.Parallel = 2
 	cfg.Mix = []MixEntry{
-		{1, RequestSpec{blasops.Gemm, 512, 512}},
-		{1, RequestSpec{blasops.Gemm, 2048, 1024}},
+		{1, RequestSpec{blasops.Gemm, 512, 512, 0}},
+		{1, RequestSpec{blasops.Gemm, 2048, 1024, 0}},
 	}
 	return cfg
 }
@@ -198,7 +198,7 @@ func TestDeadlineExpiresQueuedWork(t *testing.T) {
 	cfg.MaxInflight = 1
 	cfg.QueueDepth = 60
 	cfg.BatchMax = 1 // no batching: every request queues alone
-	cfg.Mix = []MixEntry{{1, RequestSpec{blasops.Gemm, 4096, 1024}}}
+	cfg.Mix = []MixEntry{{1, RequestSpec{blasops.Gemm, 4096, 1024, 0}}}
 	cfg.Tiers = []Tier{{Name: "impatient", Weight: 1, RefillPerSec: 1000, Burst: 1000, Deadline: 0.05}}
 	rep := mustRun(t, cfg)
 	if rep.TimedOut == 0 {
@@ -219,7 +219,7 @@ func TestBatchingFusesSmallRequests(t *testing.T) {
 	cfg := testConfig()
 	cfg.Requests = 300
 	cfg.RatePerSec = 600
-	cfg.Mix = []MixEntry{{1, RequestSpec{blasops.Gemm, 256, 256}}}
+	cfg.Mix = []MixEntry{{1, RequestSpec{blasops.Gemm, 256, 256, 0}}}
 	rep := mustRun(t, cfg)
 	units, fused := 0, 0
 	for _, ps := range rep.Platforms {
@@ -238,6 +238,34 @@ func TestBatchingFusesSmallRequests(t *testing.T) {
 	}
 	if batched == 0 {
 		t.Fatal("no served request is accounted as batched")
+	}
+}
+
+// TestBatchedRequestKindServed: a batched spec (Count > 1) is served whole
+// through the host/device dispatch path, bypasses the fused-coalescing
+// window even below the threshold N, and replays deterministically.
+func TestBatchedRequestKindServed(t *testing.T) {
+	cfg := testConfig()
+	cfg.Requests = 60
+	cfg.Mix = []MixEntry{{1, RequestSpec{blasops.Gemm, 256, 512, 32}}}
+	if got := cfg.Mix[0].Spec.String(); got != "GEMM/N256/NB512/x32" {
+		t.Fatalf("batched spec renders as %q", got)
+	}
+	rep := mustRun(t, cfg)
+	if rep.Served == 0 {
+		t.Fatal("batched request kind served nothing")
+	}
+	fused := 0
+	for _, ps := range rep.Platforms {
+		fused += ps.FusedUnits
+	}
+	if fused != 0 {
+		t.Fatalf("batched specs must bypass the coalescing window, got %d fused units", fused)
+	}
+	a := reportJSON(t, rep)
+	b := reportJSON(t, mustRun(t, cfg))
+	if !bytes.Equal(a, b) {
+		t.Fatal("batched replay is not deterministic")
 	}
 }
 

@@ -394,6 +394,12 @@ func (rt *Runtime) Stats() RuntimeStats { return rt.stats }
 // so far (including the cache's eviction decisions).
 func (rt *Runtime) Decisions() policy.Decisions { return rt.counters.Snapshot() }
 
+// CountDispatch records one batched host/device dispatch decision against
+// the run's policy counters (the "dispatch.*" metric series): host = true
+// for an instance executed by the host BLAS server, false for one sent
+// down the tiled device path.
+func (rt *Runtime) CountDispatch(host bool) { rt.counters.CountDispatch(host) }
+
 // Registry exposes the run's private metrics registry.
 func (rt *Runtime) Registry() *metrics.Registry { return rt.reg }
 
